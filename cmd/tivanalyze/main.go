@@ -1,0 +1,133 @@
+// Command tivanalyze reports the triangle-inequality-violation profile
+// of a delay matrix: the paper's §2 analysis for any matrix you hand
+// it (measured or generated with tivgen).
+//
+// Usage:
+//
+//	tivanalyze -in ds2.csv
+//	tivanalyze -in meridian.tivm -format binary -worst 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tivaware/internal/cluster"
+	"tivaware/internal/delayspace"
+	"tivaware/internal/stats"
+	"tivaware/internal/tiv"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tivanalyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tivanalyze", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		in       = fs.String("in", "", "input matrix file (required)")
+		format   = fs.String("format", "csv", "input format: csv or binary")
+		worst    = fs.Int("worst", 10, "how many worst edges to list")
+		sample   = fs.Int("sample", 0, "estimate severities from this many third nodes (0 = exact)")
+		seed     = fs.Int64("seed", 1, "seed for sampled estimation")
+		binsize  = fs.Float64("binsize", 10, "delay bin width in ms for the severity-vs-delay table")
+		clusters = fs.Int("clusters", 0, "additionally cluster the nodes into this many major clusters and report per-block severity (0 = off)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -in")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var m *delayspace.Matrix
+	switch *format {
+	case "csv":
+		m, err = delayspace.ReadCSV(f)
+	case "binary":
+		m, err = delayspace.ReadBinary(f)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "nodes: %d\n", m.N())
+	fmt.Fprintf(stdout, "measured pairs: %d of %d\n", m.MeasuredPairs(), m.N()*(m.N()-1)/2)
+	fmt.Fprintf(stdout, "max delay: %.1f ms\n", m.MaxDelay())
+
+	frac := tiv.ViolatingTriangleFraction(m, 200000, *seed)
+	fmt.Fprintf(stdout, "violating triangle fraction: %.3f\n", frac)
+
+	sev := tiv.AllSeverities(m, tiv.Options{SampleThirdNodes: *sample, Seed: *seed})
+	vals := sev.Values()
+	fmt.Fprintf(stdout, "severity: %s\n\n", stats.Summarize(vals))
+
+	fmt.Fprintln(stdout, "severity CDF:")
+	if err := stats.WriteCDFTable(stdout, []string{"severity"},
+		[]stats.CDF{stats.NewCDF(vals)}, stats.RenderOptions{Points: 11, Format: "%.4f"}); err != nil {
+		return err
+	}
+
+	delays, sevs := tiv.DelaySeverityPairs(m, sev)
+	fmt.Fprintln(stdout, "\nseverity vs delay:")
+	if err := stats.WriteBinTable(stdout, "delay_ms", "severity",
+		stats.BinSeries(delays, sevs, *binsize), stats.RenderOptions{Format: "%.4f"}); err != nil {
+		return err
+	}
+
+	if *clusters > 0 {
+		cl, err := cluster.Cluster(m, cluster.Options{K: *clusters, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\ncluster sizes (largest first, noise last): %v\n", cl.Sizes())
+		blocks := cl.Blocks(m, func(i, j int) float64 { return sev.At(i, j) })
+		fmt.Fprintln(stdout, "mean severity by cluster block:")
+		label := func(c int) string {
+			if c == cl.K {
+				return "noise"
+			}
+			return fmt.Sprintf("c%d", c)
+		}
+		fmt.Fprint(stdout, "block")
+		for b := 0; b <= cl.K; b++ {
+			fmt.Fprintf(stdout, "\t%s", label(b))
+		}
+		fmt.Fprintln(stdout)
+		for a := 0; a <= cl.K; a++ {
+			fmt.Fprint(stdout, label(a))
+			for b := 0; b <= cl.K; b++ {
+				fmt.Fprintf(stdout, "\t%.4f", blocks.Mean[a][b])
+			}
+			fmt.Fprintln(stdout)
+		}
+	}
+
+	if *worst > 0 {
+		fmt.Fprintf(stdout, "\nworst %d edges by severity:\n", *worst)
+		fmt.Fprintln(stdout, "i\tj\tdelay_ms\tseverity\tviolations")
+		edges := sev.WorstEdges(1.0)
+		if len(edges) > *worst {
+			edges = edges[:*worst]
+		}
+		for _, e := range edges {
+			fmt.Fprintf(stdout, "%d\t%d\t%.1f\t%.4f\t%d\n",
+				e.I, e.J, m.At(e.I, e.J), e.Delay, tiv.ViolationCount(m, e.I, e.J))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, id := range []string{"fig2", "fig25", "tab1", "ablate-aware"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list output missing %s", id)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "fig10", "-n", "60", "-runs", "1", "-seconds", "30"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fig10") {
+		t.Errorf("output missing figure header:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "elapsed") {
+		t.Error("output missing elapsed time")
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "fig10", "-n", "60", "-csv"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "series,") {
+		t.Errorf("CSV output malformed:\n%.100s", sb.String())
+	}
+}
+
+func TestRunIntoDirectory(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-run", "fig10", "-n", "60", "-o", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig10.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "fig10") {
+		t.Error("file content missing header")
+	}
+	if !strings.Contains(sb.String(), "done in") {
+		t.Error("progress line missing")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "nope"}, &sb); err == nil {
+		t.Error("unknown id should error")
+	}
+	if err := run(nil, &sb); err == nil {
+		t.Error("missing -run should error")
+	}
+	if err := run([]string{"-badflag"}, &sb); err == nil {
+		t.Error("bad flag should error")
+	}
+}

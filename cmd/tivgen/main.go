@@ -1,0 +1,91 @@
+// Command tivgen generates synthetic Internet delay matrices with
+// realistic triangle inequality violations (the stand-ins for the
+// paper's measured data sets) and writes them to disk.
+//
+// Usage:
+//
+//	tivgen -preset ds2 -n 800 -out ds2.csv
+//	tivgen -preset meridian -n 2500 -format binary -out meridian.tivm
+//	tivgen -euclidean -n 400 -out clean.csv     # violation-free matrix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tivaware/internal/delayspace"
+	"tivaware/internal/synth"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tivgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tivgen", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		preset    = fs.String("preset", "ds2", fmt.Sprintf("data set preset %v", synth.PresetNames))
+		n         = fs.Int("n", 0, "node count (0 = the preset's original size, e.g. 4000 for ds2)")
+		seed      = fs.Int64("seed", 1, "random seed")
+		format    = fs.String("format", "csv", "output format: csv or binary")
+		out       = fs.String("out", "", "output file (default stdout)")
+		euclidean = fs.Bool("euclidean", false, "generate a violation-free Euclidean matrix instead of a preset")
+		maxDelay  = fs.Float64("maxdelay", 800, "delay scale in ms for -euclidean")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var m *delayspace.Matrix
+	switch {
+	case *euclidean:
+		if *n <= 0 {
+			return fmt.Errorf("-euclidean requires -n")
+		}
+		m = synth.Euclidean(*n, *maxDelay, *seed)
+	default:
+		size := *n
+		if size == 0 {
+			var err error
+			size, err = synth.DefaultSize(*preset)
+			if err != nil {
+				return err
+			}
+		}
+		cfg, err := synth.FromName(*preset, size, *seed)
+		if err != nil {
+			return err
+		}
+		sp, err := synth.Generate(cfg)
+		if err != nil {
+			return err
+		}
+		m = sp.Matrix
+		fmt.Fprintf(os.Stderr, "tivgen: %s space with %d nodes, %d inflated edges\n",
+			*preset, m.N(), sp.InflatedCount())
+	}
+
+	var w io.Writer = stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "csv":
+		return delayspace.WriteCSV(w, m)
+	case "binary":
+		return delayspace.WriteBinary(w, m)
+	default:
+		return fmt.Errorf("unknown format %q (want csv or binary)", *format)
+	}
+}

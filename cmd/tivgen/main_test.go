@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tivaware/internal/delayspace"
+)
+
+func TestGenerateCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "m.csv")
+	var sb strings.Builder
+	if err := run([]string{"-preset", "planetlab", "-n", "40", "-out", out}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := delayspace.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 40 {
+		t.Errorf("generated %d nodes", m.N())
+	}
+}
+
+func TestGenerateBinary(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "m.bin")
+	var sb strings.Builder
+	if err := run([]string{"-preset", "p2psim", "-n", "30", "-format", "binary", "-out", out}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := delayspace.ReadBinary(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 30 {
+		t.Errorf("generated %d nodes", m.N())
+	}
+}
+
+func TestGenerateEuclidean(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "e.csv")
+	var sb strings.Builder
+	if err := run([]string{"-euclidean", "-n", "25", "-out", out}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := delayspace.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 25 {
+		t.Errorf("generated %d nodes", m.N())
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-preset", "bogus", "-n", "10"}, &sb); err == nil {
+		t.Error("unknown preset should error")
+	}
+	if err := run([]string{"-euclidean"}, &sb); err == nil {
+		t.Error("euclidean without -n should error")
+	}
+	if err := run([]string{"-preset", "ds2", "-n", "10", "-format", "xml"}, &sb); err == nil {
+		t.Error("unknown format should error")
+	}
+}
+
+func TestDefaultSizeFromPreset(t *testing.T) {
+	// -n 0 uses the preset's original size; use planetlab (229) to
+	// keep the test fast.
+	out := filepath.Join(t.TempDir(), "pl.csv")
+	var sb strings.Builder
+	if err := run([]string{"-preset", "planetlab", "-out", out}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := delayspace.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 229 {
+		t.Errorf("default planetlab size %d, want 229", m.N())
+	}
+}

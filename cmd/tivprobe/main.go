@@ -1,0 +1,161 @@
+// Command tivprobe is the deployment face of the measurement layer:
+// UDP RTT agents that produce the delay matrices every analysis in
+// this repository consumes.
+//
+// Run an agent on each host:
+//
+//	tivprobe -serve 0.0.0.0:7777
+//
+// Measure from this host to a set of agents:
+//
+//	tivprobe -probe host1:7777,host2:7777 -count 5
+//
+// Or demonstrate a full matrix measurement on loopback:
+//
+//	tivprobe -mesh 16 -out matrix.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"tivaware/internal/delayspace"
+	"tivaware/internal/netprobe"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tivprobe:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tivprobe", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		serve    = fs.String("serve", "", "run a probe agent on this UDP address until -duration elapses")
+		duration = fs.Duration("duration", 0, "how long to serve (0 = forever)")
+		probe    = fs.String("probe", "", "comma-separated agent addresses to measure from this host")
+		count    = fs.Int("count", 3, "probes per target; the minimum RTT is reported")
+		timeout  = fs.Duration("timeout", time.Second, "per-probe timeout")
+		mesh     = fs.Int("mesh", 0, "run this many loopback agents and measure their full matrix")
+		out      = fs.String("out", "", "matrix output file for -mesh (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	modes := 0
+	for _, on := range []bool{*serve != "", *probe != "", *mesh > 0} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fs.Usage()
+		return fmt.Errorf("exactly one of -serve, -probe, -mesh required")
+	}
+
+	switch {
+	case *serve != "":
+		return runServe(stdout, *serve, *duration)
+	case *probe != "":
+		return runProbe(stdout, *probe, *count, *timeout)
+	default:
+		return runMesh(stdout, *mesh, *out, *timeout)
+	}
+}
+
+func runServe(stdout io.Writer, addr string, duration time.Duration) error {
+	agent, err := netprobe.NewAgent(addr)
+	if err != nil {
+		return err
+	}
+	defer agent.Close()
+	fmt.Fprintf(stdout, "serving on %s\n", agent.Addr())
+	if duration > 0 {
+		time.Sleep(duration)
+		return nil
+	}
+	select {} // serve forever; the agent answers in the background
+}
+
+func runProbe(stdout io.Writer, targets string, count int, timeout time.Duration) error {
+	if count < 1 {
+		return fmt.Errorf("count %d must be >= 1", count)
+	}
+	agent, err := netprobe.NewAgent(":0")
+	if err != nil {
+		return err
+	}
+	defer agent.Close()
+	fmt.Fprintln(stdout, "target\tmin_rtt_ms\tprobes_ok")
+	for _, target := range strings.Split(targets, ",") {
+		target = strings.TrimSpace(target)
+		if target == "" {
+			continue
+		}
+		addr, err := net.ResolveUDPAddr("udp", target)
+		if err != nil {
+			return fmt.Errorf("resolving %q: %w", target, err)
+		}
+		best, ok := 0.0, 0
+		for p := 0; p < count; p++ {
+			rtt, err := agent.Probe(addr, netprobe.ProbeOptions{Timeout: timeout})
+			if err != nil {
+				continue
+			}
+			if ok == 0 || rtt < best {
+				best = rtt
+			}
+			ok++
+		}
+		if ok == 0 {
+			fmt.Fprintf(stdout, "%s\t-\t0/%d\n", target, count)
+			continue
+		}
+		fmt.Fprintf(stdout, "%s\t%.3f\t%d/%d\n", target, best, ok, count)
+	}
+	return nil
+}
+
+func runMesh(stdout io.Writer, n int, out string, timeout time.Duration) error {
+	cluster, err := netprobe.NewCluster(n, "127.0.0.1", netprobe.ProbeOptions{Timeout: timeout, Retries: 1})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	if err := cluster.WaitReady(5 * time.Second); err != nil {
+		return err
+	}
+	m, err := cluster.MeasureMatrix(8)
+	if err != nil {
+		return err
+	}
+	var rtts []float64
+	m.EachEdge(func(i, j int, d float64) bool {
+		rtts = append(rtts, d)
+		return true
+	})
+	sort.Float64s(rtts)
+	if len(rtts) > 0 {
+		fmt.Fprintf(stdout, "# mesh of %d agents: %d pairs, median RTT %.3f ms, max %.3f ms\n",
+			n, len(rtts), rtts[len(rtts)/2], rtts[len(rtts)-1])
+	}
+	w := stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return delayspace.WriteCSV(f, m)
+	}
+	return delayspace.WriteCSV(w, m)
+}

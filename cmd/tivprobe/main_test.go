@@ -1,0 +1,127 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tivaware/internal/delayspace"
+	"tivaware/internal/netprobe"
+)
+
+func TestModeValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Error("no mode should error")
+	}
+	if err := run([]string{"-serve", ":0", "-mesh", "3"}, &sb); err == nil {
+		t.Error("two modes should error")
+	}
+	if err := run([]string{"-badflag"}, &sb); err == nil {
+		t.Error("bad flag should error")
+	}
+}
+
+func TestServeForDuration(t *testing.T) {
+	var sb strings.Builder
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-serve", "127.0.0.1:0", "-duration", "300ms"}, &sb)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not stop after duration")
+	}
+	if !strings.Contains(sb.String(), "serving on") {
+		t.Errorf("missing banner: %q", sb.String())
+	}
+}
+
+func TestProbeAgainstLiveAgent(t *testing.T) {
+	agent, err := netprobe.NewAgent("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	var sb strings.Builder
+	target := agent.Addr().String()
+	if err := run([]string{"-probe", target, "-count", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, target) || !strings.Contains(out, "2/2") {
+		t.Errorf("probe output:\n%s", out)
+	}
+}
+
+func TestProbeUnreachableTarget(t *testing.T) {
+	var sb strings.Builder
+	// Reserve a port with no agent behind it.
+	dead, err := netprobe.NewAgent("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := dead.Addr().String()
+	dead.Close()
+	if err := run([]string{"-probe", addr, "-count", "1", "-timeout", "50ms"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "0/1") {
+		t.Errorf("unreachable target not reported:\n%s", sb.String())
+	}
+}
+
+func TestProbeValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-probe", "x", "-count", "0"}, &sb); err == nil {
+		t.Error("count 0 should error")
+	}
+	if err := run([]string{"-probe", "not a host:xx"}, &sb); err == nil {
+		t.Error("unresolvable target should error")
+	}
+}
+
+func TestMeshWritesMatrix(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "mesh.csv")
+	var sb strings.Builder
+	if err := run([]string{"-mesh", "4", "-out", out}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "mesh of 4 agents") {
+		t.Errorf("summary missing:\n%s", sb.String())
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := delayspace.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 4 || m.MeasuredPairs() != 6 {
+		t.Errorf("matrix %d nodes, %d pairs", m.N(), m.MeasuredPairs())
+	}
+}
+
+func TestMeshToStdout(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-mesh", "3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	// The CSV body follows the summary comment.
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 { // 1 summary + 3 matrix rows
+		t.Errorf("got %d lines:\n%s", len(lines), sb.String())
+	}
+	if fmt.Sprintf("%c", lines[0][0]) != "#" {
+		t.Error("summary comment missing")
+	}
+}

@@ -1,0 +1,266 @@
+// Package delayspace defines the delay matrix abstraction every other
+// package in this repository builds on: a symmetric matrix of measured
+// round-trip delays between N nodes, with explicit handling of missing
+// measurements.
+//
+// The paper's data sets (DS2, Meridian, p2psim, PlanetLab) are all
+// distributed as such matrices; the synthetic generators in
+// internal/synth produce the same type. Storage is a single flat
+// []float64 so that the O(N³) TIV analyses stay cache friendly.
+package delayspace
+
+import (
+	"fmt"
+	"math"
+)
+
+// Missing marks an absent measurement. The measured data sets the
+// paper uses have holes (Fig 3 draws them as black points); the
+// analyses must skip them rather than treat them as zero delay.
+const Missing = -1
+
+// Matrix is a symmetric N×N round-trip delay matrix in milliseconds.
+// The diagonal is zero. Entries equal to Missing denote pairs with no
+// measurement. The zero value is an empty (0-node) matrix.
+type Matrix struct {
+	n    int
+	data []float64
+}
+
+// New returns an n×n matrix with all off-diagonal entries Missing and
+// a zero diagonal. It panics if n is negative.
+func New(n int) *Matrix {
+	if n < 0 {
+		panic(fmt.Sprintf("delayspace: negative size %d", n))
+	}
+	m := &Matrix{n: n, data: make([]float64, n*n)}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				m.data[i*n+j] = Missing
+			}
+		}
+	}
+	return m
+}
+
+// FromRows builds a matrix from a square slice of rows, symmetrizing
+// by averaging d(i,j) and d(j,i) when both are present and taking the
+// present one when only one is. It returns an error if the input is
+// ragged, has a non-zero diagonal, or contains negative non-Missing
+// values.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	n := len(rows)
+	m := New(n)
+	for i, r := range rows {
+		if len(r) != n {
+			return nil, fmt.Errorf("delayspace: row %d has %d entries, want %d", i, len(r), n)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if rows[i][i] != 0 && rows[i][i] != Missing {
+			return nil, fmt.Errorf("delayspace: non-zero diagonal %g at %d", rows[i][i], i)
+		}
+		for j := i + 1; j < n; j++ {
+			a, b := rows[i][j], rows[j][i]
+			v, err := symmetrize(a, b)
+			if err != nil {
+				return nil, fmt.Errorf("delayspace: entry (%d,%d): %w", i, j, err)
+			}
+			m.set(i, j, v)
+		}
+	}
+	return m, nil
+}
+
+func symmetrize(a, b float64) (float64, error) {
+	bad := func(x float64) bool {
+		return math.IsNaN(x) || (x < 0 && x != Missing)
+	}
+	if bad(a) || bad(b) {
+		return 0, fmt.Errorf("invalid delay pair (%g,%g)", a, b)
+	}
+	switch {
+	case a == Missing && b == Missing:
+		return Missing, nil
+	case a == Missing:
+		return b, nil
+	case b == Missing:
+		return a, nil
+	default:
+		return (a + b) / 2, nil
+	}
+}
+
+// N returns the number of nodes.
+func (m *Matrix) N() int { return m.n }
+
+// At returns the delay between i and j (At(i,i) is always 0). The
+// result is Missing when the pair was never measured.
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.n+j] }
+
+// Has reports whether the pair (i, j) has a measurement.
+func (m *Matrix) Has(i, j int) bool { return m.data[i*m.n+j] != Missing }
+
+// Set stores a symmetric delay for the pair (i, j). It panics on
+// negative delays (other than Missing), NaN, or i == j, because a
+// corrupted matrix invalidates every downstream analysis.
+func (m *Matrix) Set(i, j int, d float64) {
+	if i == j {
+		panic("delayspace: Set on diagonal")
+	}
+	if math.IsNaN(d) || (d < 0 && d != Missing) {
+		panic(fmt.Sprintf("delayspace: invalid delay %g", d))
+	}
+	m.set(i, j, d)
+}
+
+func (m *Matrix) set(i, j int, d float64) {
+	m.data[i*m.n+j] = d
+	m.data[j*m.n+i] = d
+}
+
+// Row returns a read-only view of row i. Callers must not modify it.
+func (m *Matrix) Row(i int) []float64 { return m.data[i*m.n : (i+1)*m.n] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{n: m.n, data: make([]float64, len(m.data))}
+	copy(c.data, m.data)
+	return c
+}
+
+// Submatrix returns the matrix restricted to the given nodes, in the
+// given order. Duplicate or out-of-range indices cause a panic.
+func (m *Matrix) Submatrix(nodes []int) *Matrix {
+	s := New(len(nodes))
+	seen := make(map[int]bool, len(nodes))
+	for _, v := range nodes {
+		if v < 0 || v >= m.n {
+			panic(fmt.Sprintf("delayspace: Submatrix index %d out of range [0,%d)", v, m.n))
+		}
+		if seen[v] {
+			panic(fmt.Sprintf("delayspace: Submatrix duplicate index %d", v))
+		}
+		seen[v] = true
+	}
+	for a, i := range nodes {
+		for b := a + 1; b < len(nodes); b++ {
+			s.set(a, b, m.At(i, nodes[b]))
+		}
+	}
+	return s
+}
+
+// Reorder returns a copy with nodes permuted by perm (new index a maps
+// to old index perm[a]). perm must be a permutation of [0, N).
+func (m *Matrix) Reorder(perm []int) *Matrix {
+	if len(perm) != m.n {
+		panic(fmt.Sprintf("delayspace: Reorder permutation has %d entries, want %d", len(perm), m.n))
+	}
+	return m.Submatrix(perm)
+}
+
+// MeasuredPairs returns the number of node pairs (i < j) that have a
+// measurement.
+func (m *Matrix) MeasuredPairs() int {
+	count := 0
+	for i := 0; i < m.n; i++ {
+		row := m.Row(i)
+		for j := i + 1; j < m.n; j++ {
+			if row[j] != Missing {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// MaxDelay returns the largest measured delay, or 0 for an empty or
+// fully missing matrix.
+func (m *Matrix) MaxDelay() float64 {
+	max := 0.0
+	for i := 0; i < m.n; i++ {
+		row := m.Row(i)
+		for j := i + 1; j < m.n; j++ {
+			if row[j] != Missing && row[j] > max {
+				max = row[j]
+			}
+		}
+	}
+	return max
+}
+
+// Validate checks structural invariants: square storage, symmetric
+// entries, zero diagonal, and no negative or NaN delays. Generators
+// and loaders call it before returning a matrix to callers.
+func (m *Matrix) Validate() error {
+	if len(m.data) != m.n*m.n {
+		return fmt.Errorf("delayspace: storage %d for n=%d", len(m.data), m.n)
+	}
+	for i := 0; i < m.n; i++ {
+		if d := m.At(i, i); d != 0 {
+			return fmt.Errorf("delayspace: diagonal (%d,%d) = %g, want 0", i, i, d)
+		}
+		for j := i + 1; j < m.n; j++ {
+			a, b := m.At(i, j), m.At(j, i)
+			if a != b {
+				return fmt.Errorf("delayspace: asymmetry at (%d,%d): %g vs %g", i, j, a, b)
+			}
+			if math.IsNaN(a) || (a < 0 && a != Missing) {
+				return fmt.Errorf("delayspace: invalid delay %g at (%d,%d)", a, i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// EachEdge calls fn for every measured pair i < j. Iteration stops if
+// fn returns false.
+func (m *Matrix) EachEdge(fn func(i, j int, d float64) bool) {
+	for i := 0; i < m.n; i++ {
+		row := m.Row(i)
+		for j := i + 1; j < m.n; j++ {
+			if row[j] == Missing {
+				continue
+			}
+			if !fn(i, j, row[j]) {
+				return
+			}
+		}
+	}
+}
+
+// Edge identifies a node pair with its delay.
+type Edge struct {
+	I, J  int
+	Delay float64
+}
+
+// Edges returns all measured edges (i < j).
+func (m *Matrix) Edges() []Edge {
+	out := make([]Edge, 0, m.MeasuredPairs())
+	m.EachEdge(func(i, j int, d float64) bool {
+		out = append(out, Edge{I: i, J: j, Delay: d})
+		return true
+	})
+	return out
+}
+
+// NearestNeighbor returns the measured node closest to i and its
+// delay. The second return is false when i has no measured edge.
+func (m *Matrix) NearestNeighbor(i int) (j int, ok bool) {
+	best := math.Inf(1)
+	bestJ := -1
+	row := m.Row(i)
+	for k := 0; k < m.n; k++ {
+		if k == i || row[k] == Missing {
+			continue
+		}
+		if row[k] < best {
+			best = row[k]
+			bestJ = k
+		}
+	}
+	return bestJ, bestJ >= 0
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Spec describes one runnable experiment.
+type Spec struct {
+	// ID is the experiment identifier used on the command line and in
+	// bench names ("fig2" ... "fig25", "tab1", "ablate-*").
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Run executes the experiment.
+	Run func(Config) (Result, error)
+}
+
+// Specs lists every experiment in paper order: all figures, the
+// in-text statistics table, then the ablations.
+var Specs = []Spec{
+	{"fig2", "CDF of TIV severity, 4 data sets", Fig2},
+	{"fig3", "TIV severity by cluster blocks (DS2)", Fig3},
+	{"fig4", "TIV severity vs delay, DS2", Fig4},
+	{"fig5", "TIV severity vs delay, p2psim", Fig5},
+	{"fig6", "TIV severity vs delay, Meridian", Fig6},
+	{"fig7", "TIV severity vs delay, PlanetLab", Fig7},
+	{"fig8", "Within-cluster fraction & shortest paths vs delay (DS2)", Fig8},
+	{"fig9", "Nearest-pair vs random-pair severity difference", Fig9},
+	{"fig10", "Vivaldi 3-node TIV error trace", Fig10},
+	{"fig11", "Vivaldi oscillation range vs delay (DS2)", Fig11},
+	{"fig13", "Meridian ring misplacement vs delay", Fig13},
+	{"fig14", "Ideal Meridian: Euclidean vs DS2", Fig14},
+	{"fig15", "IDES vs Vivaldi neighbor selection", Fig15},
+	{"fig16", "Vivaldi+LAT vs Vivaldi neighbor selection", Fig16},
+	{"fig17", "Vivaldi with severity filter vs original", Fig17},
+	{"fig18", "Meridian with severity filter vs original", Fig18},
+	{"fig19", "TIV severity vs prediction ratio", Fig19},
+	{"fig20", "TIV alert accuracy vs threshold", Fig20},
+	{"fig21", "TIV alert recall vs threshold", Fig21},
+	{"fig22", "Neighbor-edge severity, dynamic-neighbor iterations", Fig22},
+	{"fig23", "Dynamic-neighbor Vivaldi penalty per iteration", Fig23},
+	{"fig24", "TIV-aware Meridian, normal setting", Fig24},
+	{"fig25", "TIV-aware Meridian, 200-node setting", Fig25},
+	{"tab1", "In-text statistics (§3.2.1)", Tab1},
+	{"tab2", "Rejected TIV metrics disagree (§2.1)", Tab2},
+	{"ablate-aware", "Ring adjustment vs query restart vs both", AblateAware},
+	{"ablate-timestep", "Vivaldi adaptive vs constant timestep", AblateTimestep},
+	{"ablate-beta", "Meridian β sweep: penalty vs probes", AblateBeta},
+	{"ablate-sampling", "Severity estimator: exact vs sampled", AblateSeveritySampling},
+	{"ablate-height", "Vivaldi height-vector extension", AblateHeight},
+	{"ablate-rings", "Meridian ring membership: random vs diverse", AblateRings},
+	{"ablate-coords", "All delay predictors on neighbor selection", AblateCoords},
+	{"ablate-filter", "Vivaldi under measurement noise: median filter", AblateFilter},
+	{"ablate-generator", "Synthetic data set TIV profiles", AblateGenerator},
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Spec, error) {
+	for _, s := range Specs {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	ids := make([]string, len(Specs))
+	for i, s := range Specs {
+		ids[i] = s.ID
+	}
+	sort.Strings(ids)
+	return Spec{}, fmt.Errorf("experiments: unknown id %q (known: %v)", id, ids)
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"tivaware/internal/stats"
+)
+
+// Result is the output of one experiment: a textual table mirroring
+// the paper's figure, plus CSV for external plotting.
+type Result interface {
+	// ID is the experiment identifier, e.g. "fig2".
+	ID() string
+	// Title describes the figure being regenerated.
+	Title() string
+	// Notes carries the in-text numbers accompanying the figure
+	// (overheads, fractions, medians).
+	Notes() []string
+	// WriteTable renders the figure as an aligned text table.
+	WriteTable(w io.Writer) error
+	// WriteCSV renders the raw series for plotting.
+	WriteCSV(w io.Writer) error
+}
+
+// meta implements the identity half of Result.
+type meta struct {
+	id    string
+	title string
+	notes []string
+}
+
+func (m meta) ID() string      { return m.id }
+func (m meta) Title() string   { return m.title }
+func (m meta) Notes() []string { return m.notes }
+
+func (m *meta) addNote(format string, args ...interface{}) {
+	m.notes = append(m.notes, fmt.Sprintf(format, args...))
+}
+
+func writeHeader(w io.Writer, r Result) error {
+	if _, err := fmt.Fprintf(w, "# %s — %s\n", r.ID(), r.Title()); err != nil {
+		return err
+	}
+	for _, n := range r.Notes() {
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CDFResult holds one or more named CDF curves (most figures).
+type CDFResult struct {
+	meta
+	Names  []string
+	CDFs   []stats.CDF
+	Render stats.RenderOptions
+}
+
+// WriteTable implements Result.
+func (r *CDFResult) WriteTable(w io.Writer) error {
+	if err := writeHeader(w, r); err != nil {
+		return err
+	}
+	return stats.WriteCDFTable(w, r.Names, r.CDFs, r.Render)
+}
+
+// WriteCSV implements Result.
+func (r *CDFResult) WriteCSV(w io.Writer) error {
+	return stats.WriteCDFCSV(w, r.Names, r.CDFs)
+}
+
+// BinsResult holds one or more error-bar series over a shared x axis
+// (the severity-vs-delay family of figures).
+type BinsResult struct {
+	meta
+	XLabel string
+	YLabel string
+	Names  []string
+	Sets   [][]stats.Bin
+	Render stats.RenderOptions
+}
+
+// WriteTable implements Result.
+func (r *BinsResult) WriteTable(w io.Writer) error {
+	if err := writeHeader(w, r); err != nil {
+		return err
+	}
+	for k, name := range r.Names {
+		if len(r.Names) > 1 {
+			if _, err := fmt.Fprintf(w, "## %s\n", name); err != nil {
+				return err
+			}
+		}
+		if err := stats.WriteBinTable(w, r.XLabel, r.YLabel, r.Sets[k], r.Render); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV implements Result.
+func (r *BinsResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "series,%s,n,p10,median,p90,mean\n", r.XLabel); err != nil {
+		return err
+	}
+	for k, name := range r.Names {
+		for _, b := range r.Sets[k] {
+			if _, err := fmt.Fprintf(w, "%s,%g,%d,%g,%g,%g,%g\n",
+				name, b.Center(), b.N, b.P10, b.Median, b.P90, b.Mean); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SeriesResult holds plain (x, y) series sharing an x axis (alert
+// accuracy/recall curves, error traces).
+type SeriesResult struct {
+	meta
+	XLabel string
+	X      []float64
+	Names  []string
+	Series [][]float64
+	Render stats.RenderOptions
+}
+
+// WriteTable implements Result.
+func (r *SeriesResult) WriteTable(w io.Writer) error {
+	if err := writeHeader(w, r); err != nil {
+		return err
+	}
+	return stats.WriteSeriesTable(w, r.XLabel, r.X, r.Names, r.Series, r.Render)
+}
+
+// WriteCSV implements Result.
+func (r *SeriesResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "series,%s,value\n", r.XLabel); err != nil {
+		return err
+	}
+	for k, name := range r.Names {
+		for i, x := range r.X {
+			if i >= len(r.Series[k]) {
+				break
+			}
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", name, x, r.Series[k][i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// TableResult is a flat key/value table (block matrices, in-text
+// statistics).
+type TableResult struct {
+	meta
+	Columns []string
+	Rows    [][]string
+}
+
+// WriteTable implements Result.
+func (r *TableResult) WriteTable(w io.Writer) error {
+	if err := writeHeader(w, r); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(r.Columns, "\t")); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV implements Result.
+func (r *TableResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(r.Columns, ",")); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

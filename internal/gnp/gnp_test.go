@@ -1,0 +1,125 @@
+package gnp
+
+import (
+	"math"
+	"testing"
+
+	"tivaware/internal/delayspace"
+	"tivaware/internal/stats"
+	"tivaware/internal/synth"
+)
+
+func TestBuildValidation(t *testing.T) {
+	m := synth.Euclidean(10, 100, 1)
+	if _, err := Build(m, Config{Landmarks: 20}); err == nil {
+		t.Error("more landmarks than nodes should error")
+	}
+	if _, err := Build(m, Config{Landmarks: 4, Dim: 5}); err == nil {
+		t.Error("landmarks below dim+1 should error")
+	}
+	holey := delayspace.New(8)
+	holey.Set(0, 1, 10)
+	if _, err := Build(holey, Config{Landmarks: 8, Dim: 2}); err == nil {
+		t.Error("unmeasured landmark pairs should error")
+	}
+}
+
+func TestGNPEmbedsEuclideanData(t *testing.T) {
+	m := synth.Euclidean(80, 300, 3)
+	sys, err := Build(m, Config{Landmarks: 15, Dim: 5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var relErrs []float64
+	m.EachEdge(func(i, j int, d float64) bool {
+		if d > 5 {
+			relErrs = append(relErrs, math.Abs(sys.Predict(i, j)-d)/d)
+		}
+		return true
+	})
+	med := stats.Summarize(relErrs).Median
+	if med > 0.15 {
+		t.Errorf("median relative error %.3f on clean Euclidean data", med)
+	}
+}
+
+func TestGNPOnTIVData(t *testing.T) {
+	s, err := synth.Generate(synth.DS2Like(100, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Build(s.Matrix, Config{Landmarks: 15, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if sys.Predict(i, i) != 0 {
+			t.Fatal("self prediction must be 0")
+		}
+		for j := i + 1; j < 100; j++ {
+			p := sys.Predict(i, j)
+			if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+				t.Fatalf("invalid prediction %g", p)
+			}
+			if p != sys.Predict(j, i) {
+				t.Fatal("asymmetric prediction")
+			}
+		}
+	}
+	// The embedding should carry signal: mean error well below mean
+	// delay.
+	var errSum, dSum float64
+	var count float64
+	s.Matrix.EachEdge(func(i, j int, d float64) bool {
+		errSum += math.Abs(sys.Predict(i, j) - d)
+		dSum += d
+		count++
+		return true
+	})
+	if errSum/count > 0.6*dSum/count {
+		t.Errorf("mean error %.1f vs mean delay %.1f; embedding carries no signal",
+			errSum/count, dSum/count)
+	}
+}
+
+func TestGNPDeterministic(t *testing.T) {
+	m := synth.Euclidean(30, 200, 11)
+	a, err := Build(m, Config{Landmarks: 10, Dim: 3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(m, Config{Landmarks: 10, Dim: 3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		for j := 0; j < 30; j++ {
+			if a.Predict(i, j) != b.Predict(i, j) {
+				t.Fatal("same seed, different coordinates")
+			}
+		}
+	}
+}
+
+func TestLandmarksAccessor(t *testing.T) {
+	m := synth.Euclidean(20, 200, 13)
+	sys, err := Build(m, Config{Landmarks: 8, Dim: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm := sys.Landmarks()
+	if len(lm) != 8 {
+		t.Fatalf("got %d landmarks", len(lm))
+	}
+	lm[0] = -1
+	if sys.Landmarks()[0] == -1 {
+		t.Error("Landmarks returned internal storage")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	var c Config
+	if c.landmarks() != 15 || c.dim() != 5 || c.iters() != 2000 {
+		t.Errorf("defaults: l=%d dim=%d iters=%d", c.landmarks(), c.dim(), c.iters())
+	}
+}

@@ -1,0 +1,102 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// NMFResult is a rank-k non-negative factorization A ≈ W·H with
+// W (rows×k) and H (k×cols) element-wise non-negative.
+type NMFResult struct {
+	W *Dense
+	H *Dense
+}
+
+// NMFOptions tunes the factorization.
+type NMFOptions struct {
+	// Rank is the factorization rank k. Must be positive.
+	Rank int
+	// MaxIters bounds the multiplicative-update iterations. Zero
+	// means 500.
+	MaxIters int
+	// Tol stops iterating once the relative Frobenius improvement per
+	// iteration drops below it. Zero means 1e-6.
+	Tol float64
+	// Seed makes the random initialization deterministic.
+	Seed int64
+}
+
+// NMF factorizes a non-negative matrix with Lee–Seung multiplicative
+// updates (the method the IDES paper names alongside SVD). Entries of
+// a must be ≥ 0.
+func NMF(a *Dense, opts NMFOptions) (NMFResult, error) {
+	if opts.Rank <= 0 {
+		return NMFResult{}, fmt.Errorf("linalg: NMF rank %d must be positive", opts.Rank)
+	}
+	maxIters := opts.MaxIters
+	if maxIters <= 0 {
+		maxIters = 500
+	}
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	rows, cols := a.Rows(), a.Cols()
+	var maxVal float64
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			v := a.At(i, j)
+			if v < 0 || math.IsNaN(v) {
+				return NMFResult{}, fmt.Errorf("linalg: NMF input has invalid entry %g at (%d,%d)", v, i, j)
+			}
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	scale := math.Sqrt(maxVal / float64(opts.Rank))
+	w := NewDense(rows, opts.Rank)
+	h := NewDense(opts.Rank, cols)
+	for i := range w.data {
+		w.data[i] = rng.Float64()*scale + 1e-4
+	}
+	for i := range h.data {
+		h.data[i] = rng.Float64()*scale + 1e-4
+	}
+
+	const eps = 1e-12
+	prev := math.Inf(1)
+	for it := 0; it < maxIters; it++ {
+		// H <- H .* (WᵀA) ./ (WᵀWH)
+		wt := w.T()
+		wta := Mul(wt, a)
+		wtwh := Mul(Mul(wt, w), h)
+		for i := range h.data {
+			h.data[i] *= wta.data[i] / (wtwh.data[i] + eps)
+		}
+		// W <- W .* (AHᵀ) ./ (WHHᵀ)
+		ht := h.T()
+		aht := Mul(a, ht)
+		whht := Mul(w, Mul(h, ht))
+		for i := range w.data {
+			w.data[i] *= aht.data[i] / (whht.data[i] + eps)
+		}
+		if it%10 == 9 {
+			err := FrobeniusDiff(a, Mul(w, h))
+			if prev-err < tol*(prev+1) {
+				break
+			}
+			prev = err
+		}
+	}
+	return NMFResult{W: w, H: h}, nil
+}
+
+// Reconstruct returns W·H.
+func (r NMFResult) Reconstruct() *Dense { return Mul(r.W, r.H) }

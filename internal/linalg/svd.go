@@ -1,0 +1,147 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+)
+
+// SVDResult holds a thin singular value decomposition A = U·diag(S)·Vᵀ
+// with singular values sorted descending.
+type SVDResult struct {
+	// U is rows(A)×k with orthonormal columns.
+	U *Dense
+	// S holds the k singular values, descending.
+	S []float64
+	// V is cols(A)×k with orthonormal columns.
+	V *Dense
+}
+
+// SVD computes the thin singular value decomposition of a using the
+// one-sided Jacobi method (Hestenes rotations on the columns). It is
+// an exact O(min(r,c)·r·c) method appropriate for the small landmark
+// matrices IDES factorizes; it is not intended for matrices with
+// thousands of columns.
+func SVD(a *Dense) SVDResult {
+	// Work on W = A (copy); rotate columns of W until all pairs are
+	// orthogonal. Then the column norms are singular values, the
+	// normalized columns are U, and the accumulated rotations give V.
+	rows, cols := a.Rows(), a.Cols()
+	w := a.Clone()
+	v := NewDense(cols, cols)
+	for i := 0; i < cols; i++ {
+		v.Set(i, i, 1)
+	}
+
+	const (
+		maxSweeps = 60
+		tol       = 1e-12
+	)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < cols-1; p++ {
+			for q := p + 1; q < cols; q++ {
+				var alpha, beta, gamma float64 // ‖wp‖², ‖wq‖², wp·wq
+				for i := 0; i < rows; i++ {
+					wp := w.At(i, p)
+					wq := w.At(i, q)
+					alpha += wp * wp
+					beta += wq * wq
+					gamma += wp * wq
+				}
+				if math.Abs(gamma) <= tol*math.Sqrt(alpha*beta) || gamma == 0 {
+					continue
+				}
+				off += math.Abs(gamma)
+				// Jacobi rotation zeroing the (p,q) inner product.
+				zeta := (beta - alpha) / (2 * gamma)
+				t := math.Copysign(1, zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < rows; i++ {
+					wp := w.At(i, p)
+					wq := w.At(i, q)
+					w.Set(i, p, c*wp-s*wq)
+					w.Set(i, q, s*wp+c*wq)
+				}
+				for i := 0; i < cols; i++ {
+					vp := v.At(i, p)
+					vq := v.At(i, q)
+					v.Set(i, p, c*vp-s*vq)
+					v.Set(i, q, s*vp+c*vq)
+				}
+			}
+		}
+		if off == 0 {
+			break
+		}
+	}
+
+	// Extract singular values and normalize U's columns.
+	sv := make([]float64, cols)
+	u := NewDense(rows, cols)
+	for j := 0; j < cols; j++ {
+		var norm float64
+		for i := 0; i < rows; i++ {
+			norm += w.At(i, j) * w.At(i, j)
+		}
+		norm = math.Sqrt(norm)
+		sv[j] = norm
+		if norm > 0 {
+			for i := 0; i < rows; i++ {
+				u.Set(i, j, w.At(i, j)/norm)
+			}
+		}
+	}
+
+	// Sort by singular value descending, permuting U and V columns.
+	order := make([]int, cols)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool { return sv[order[x]] > sv[order[y]] })
+	su := NewDense(rows, cols)
+	sV := NewDense(cols, cols)
+	ss := make([]float64, cols)
+	for newJ, oldJ := range order {
+		ss[newJ] = sv[oldJ]
+		for i := 0; i < rows; i++ {
+			su.Set(i, newJ, u.At(i, oldJ))
+		}
+		for i := 0; i < cols; i++ {
+			sV.Set(i, newJ, v.At(i, oldJ))
+		}
+	}
+	return SVDResult{U: su, S: ss, V: sV}
+}
+
+// Truncate keeps only the top-k singular triplets. k larger than the
+// available rank is clamped.
+func (r SVDResult) Truncate(k int) SVDResult {
+	if k >= len(r.S) {
+		return r
+	}
+	u := NewDense(r.U.Rows(), k)
+	v := NewDense(r.V.Rows(), k)
+	for i := 0; i < r.U.Rows(); i++ {
+		for j := 0; j < k; j++ {
+			u.Set(i, j, r.U.At(i, j))
+		}
+	}
+	for i := 0; i < r.V.Rows(); i++ {
+		for j := 0; j < k; j++ {
+			v.Set(i, j, r.V.At(i, j))
+		}
+	}
+	return SVDResult{U: u, S: append([]float64(nil), r.S[:k]...), V: v}
+}
+
+// Reconstruct returns U·diag(S)·Vᵀ.
+func (r SVDResult) Reconstruct() *Dense {
+	us := r.U.Clone()
+	for j, s := range r.S {
+		for i := 0; i < us.Rows(); i++ {
+			us.Set(i, j, us.At(i, j)*s)
+		}
+	}
+	return Mul(us, r.V.T())
+}

@@ -1,0 +1,84 @@
+package meridian
+
+import (
+	"math/rand"
+
+	"tivaware/internal/delayspace"
+)
+
+// MisplacementSample is one data point of the Fig 13 analysis: for a
+// node pair (Ni, Nj) at delay Dij, Fraction is the share of nodes
+// close to Nj (within β·Dij) whose delay to Ni falls outside
+// [(1−β)·Dij, (1+β)·Dij] — nodes that TIVs would cause Ni to file in
+// the wrong ring, hiding them from queries that pass near Nj.
+type MisplacementSample struct {
+	Dij      float64
+	Fraction float64
+}
+
+// MisplacementSamples evaluates ring-placement errors over node pairs
+// of m at acceptance threshold beta. maxPairs > 0 samples that many
+// pairs uniformly; otherwise every ordered pair is evaluated (O(N³)).
+func MisplacementSamples(m *delayspace.Matrix, beta float64, maxPairs int, seed int64) []MisplacementSample {
+	n := m.N()
+	if n < 3 {
+		return nil
+	}
+	evaluate := func(i, j int) (MisplacementSample, bool) {
+		dij := m.At(i, j)
+		if dij == delayspace.Missing || dij <= 0 {
+			return MisplacementSample{}, false
+		}
+		rowJ := m.Row(j)
+		rowI := m.Row(i)
+		nearJ, misplaced := 0, 0
+		lo, hi := (1-beta)*dij, (1+beta)*dij
+		for k := 0; k < n; k++ {
+			if k == i || k == j {
+				continue
+			}
+			djk := rowJ[k]
+			if djk == delayspace.Missing || djk > beta*dij {
+				continue
+			}
+			dik := rowI[k]
+			if dik == delayspace.Missing {
+				continue
+			}
+			nearJ++
+			if dik < lo || dik > hi {
+				misplaced++
+			}
+		}
+		if nearJ == 0 {
+			return MisplacementSample{}, false
+		}
+		return MisplacementSample{Dij: dij, Fraction: float64(misplaced) / float64(nearJ)}, true
+	}
+
+	var out []MisplacementSample
+	if maxPairs <= 0 || maxPairs >= n*(n-1) {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				if s, ok := evaluate(i, j); ok {
+					out = append(out, s)
+				}
+			}
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for len(out) < maxPairs {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		if s, ok := evaluate(i, j); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}

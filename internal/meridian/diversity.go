@@ -1,0 +1,106 @@
+package meridian
+
+// Diversity-based ring membership. The original Meridian system does
+// not keep the first k members it discovers: it periodically swaps
+// ring members to maximize the hypervolume of the polytope spanned by
+// their pairwise latencies, so each ring covers its delay shell from
+// many directions. This file implements the standard greedy
+// approximation (farthest-point / max-min selection over measured
+// member-to-member delays), enabled with BuildOptions.DiverseRings.
+// The extra member-to-member probes are counted as construction cost.
+
+// pruneRingDiverse reduces members to at most k, maximizing the
+// minimum pairwise delay among the survivors. Delays between members
+// are measured through the prober; members whose pairwise delay
+// cannot be measured are treated as collocated (distance 0), which
+// makes them unlikely to be kept together. Returns the pruned set and
+// the number of probes spent.
+func (s *System) pruneRingDiverse(members []int, k int) (kept []int, probes int) {
+	if len(members) <= k {
+		return members, 0
+	}
+	// Bound the O(candidates²) probing: consider at most 4k random
+	// candidates. Beyond that the marginal diversity gain is noise,
+	// while the probe cost grows quadratically.
+	if cap := 4 * k; len(members) > cap {
+		s.rng.Shuffle(len(members), func(a, b int) {
+			members[a], members[b] = members[b], members[a]
+		})
+		members = members[:cap]
+	}
+	// Pairwise delay cache for this ring.
+	delay := make(map[[2]int]float64, len(members)*(len(members)-1)/2)
+	get := func(a, b int) float64 {
+		key := [2]int{a, b}
+		if a > b {
+			key = [2]int{b, a}
+		}
+		if d, ok := delay[key]; ok {
+			return d
+		}
+		d, ok := s.prober.RTT(a, b)
+		if !ok {
+			d = 0
+		} else {
+			probes++
+		}
+		delay[key] = d
+		return d
+	}
+
+	// Seed with the farthest pair.
+	bestA, bestB, bestD := 0, 1, -1.0
+	for x := 0; x < len(members); x++ {
+		for y := x + 1; y < len(members); y++ {
+			if d := get(members[x], members[y]); d > bestD {
+				bestA, bestB, bestD = x, y, d
+			}
+		}
+	}
+	selected := []int{members[bestA], members[bestB]}
+	inSel := map[int]bool{members[bestA]: true, members[bestB]: true}
+
+	// Greedy max-min additions.
+	for len(selected) < k {
+		bestCand, bestMin := -1, -1.0
+		for _, cand := range members {
+			if inSel[cand] {
+				continue
+			}
+			minD := -1.0
+			for _, sel := range selected {
+				d := get(cand, sel)
+				if minD < 0 || d < minD {
+					minD = d
+				}
+			}
+			if minD > bestMin {
+				bestCand, bestMin = cand, minD
+			}
+		}
+		if bestCand < 0 {
+			break
+		}
+		selected = append(selected, bestCand)
+		inSel[bestCand] = true
+	}
+	return selected, probes
+}
+
+// applyDiversity prunes every over-full ring of every node. Build
+// calls it after candidate placement when DiverseRings is set.
+func (s *System) applyDiversity(k int) int64 {
+	var probes int64
+	for _, id := range s.ids {
+		nd := s.nodes[id]
+		for r, members := range nd.rings {
+			if len(members) <= k {
+				continue
+			}
+			kept, p := s.pruneRingDiverse(members, k)
+			probes += int64(p)
+			nd.rings[r] = kept
+		}
+	}
+	return probes
+}

@@ -1,0 +1,101 @@
+package meridian
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"tivaware/internal/delayspace"
+	"tivaware/internal/synth"
+)
+
+// lossyProber drops a fraction of probes, modeling probe loss and
+// unreachable hosts during live queries.
+type lossyProber struct {
+	m    *delayspace.Matrix
+	drop float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (p *lossyProber) RTT(i, j int) (float64, bool) {
+	p.mu.Lock()
+	lost := p.rng.Float64() < p.drop
+	p.mu.Unlock()
+	if lost {
+		return 0, false
+	}
+	if i == j {
+		return 0, true
+	}
+	d := p.m.At(i, j)
+	if d == delayspace.Missing {
+		return 0, false
+	}
+	return d, true
+}
+
+func TestQuerySurvivesProbeLoss(t *testing.T) {
+	s, err := synth.Generate(synth.DS2Like(100, 37))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Construction over a reliable prober, queries over a lossy one:
+	// rings exist, but 30% of online probes fail.
+	reliable := prober(t, s.Matrix)
+	sys, err := Build(reliable, allIDs(50), Config{K: -1, Seed: 1}, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.prober = &lossyProber{m: s.Matrix, drop: 0.3, rng: rand.New(rand.NewSource(2))}
+
+	succeeded, failed := 0, 0
+	for target := 50; target < 100; target++ {
+		res, err := sys.ClosestTo(target, sys.RandomStart(), QueryOptions{})
+		if err != nil {
+			// Start node could not probe the target — the caller's
+			// documented retry case.
+			failed++
+			continue
+		}
+		succeeded++
+		if res.Found < 0 || res.Delay < 0 {
+			t.Fatalf("lossy query returned junk: %+v", res)
+		}
+	}
+	if succeeded == 0 {
+		t.Fatal("no query survived 30% probe loss")
+	}
+	// With 30% loss the initial probe fails ~30% of the time; anything
+	// above ~60% failures means the query path is fragile beyond that.
+	if float64(failed)/float64(failed+succeeded) > 0.6 {
+		t.Errorf("%d/%d queries failed under 30%% loss", failed, failed+succeeded)
+	}
+}
+
+func TestBuildSurvivesProbeLoss(t *testing.T) {
+	s, err := synth.Generate(synth.DS2Like(60, 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy := &lossyProber{m: s.Matrix, drop: 0.4, rng: rand.New(rand.NewSource(3))}
+	sys, err := Build(lossy, allIDs(30), Config{K: -1, Seed: 4}, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rings are sparser but present.
+	total := 0
+	for _, id := range sys.IDs() {
+		for _, occ := range sys.RingOccupancy(id) {
+			total += occ
+		}
+	}
+	if total == 0 {
+		t.Fatal("no ring members survived construction loss")
+	}
+	want := 30 * 29 // complete membership
+	if total >= want {
+		t.Errorf("membership %d not reduced by 40%% construction loss", total)
+	}
+}

@@ -1,0 +1,61 @@
+package meridian
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"tivaware/internal/synth"
+)
+
+func TestKClosestRankedAndConsistent(t *testing.T) {
+	m := synth.Euclidean(80, 300, 17)
+	p := prober(t, m)
+	sys, err := Build(p, allIDs(40), Config{K: -1, Seed: 3}, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := 60
+	neighbors, res, err := sys.KClosest(target, sys.RandomStart(), 5, QueryOptions{NoTermination: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(neighbors) == 0 || len(neighbors) > 5 {
+		t.Fatalf("got %d neighbors", len(neighbors))
+	}
+	// Sorted ascending by delay, first equals the single-result query.
+	for k := 1; k < len(neighbors); k++ {
+		if neighbors[k].Delay < neighbors[k-1].Delay {
+			t.Fatal("neighbors not sorted")
+		}
+	}
+	if neighbors[0].ID != res.Found || neighbors[0].Delay != res.Delay {
+		t.Errorf("first neighbor %+v != query result %+v", neighbors[0], res)
+	}
+	// Every reported delay matches the matrix.
+	for _, nb := range neighbors {
+		if math.Abs(nb.Delay-m.At(nb.ID, target)) > 1e-9 {
+			t.Fatalf("neighbor %d delay %g != matrix %g", nb.ID, nb.Delay, m.At(nb.ID, target))
+		}
+	}
+	// With an ideal overlay the top entry should be the true nearest.
+	ids := allIDs(40)
+	sort.Slice(ids, func(a, b int) bool { return m.At(ids[a], target) < m.At(ids[b], target) })
+	if neighbors[0].ID != ids[0] {
+		t.Logf("top-1 %d differs from optimum %d (acceptable on occasion)", neighbors[0].ID, ids[0])
+	}
+}
+
+func TestKClosestValidation(t *testing.T) {
+	m := synth.Euclidean(10, 100, 19)
+	sys, err := Build(prober(t, m), allIDs(5), Config{}, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.KClosest(7, 0, 0, QueryOptions{}); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, _, err := sys.KClosest(7, 99, 3, QueryOptions{}); err == nil {
+		t.Error("bad start should error")
+	}
+}

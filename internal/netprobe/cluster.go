@@ -1,0 +1,131 @@
+package netprobe
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"tivaware/internal/delayspace"
+)
+
+// Cluster runs several agents in one process (typically on loopback)
+// and exposes them through the same RTT interface the simulated
+// prober implements, so examples and tests can drive Vivaldi or
+// Meridian over real sockets.
+type Cluster struct {
+	agents []*Agent
+	addrs  []*net.UDPAddr
+	opts   ProbeOptions
+}
+
+// NewCluster starts n agents on the given host (use "127.0.0.1" for
+// loopback). On any failure it tears down the agents already started.
+func NewCluster(n int, host string, opts ProbeOptions) (*Cluster, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("netprobe: cluster needs at least 2 agents, got %d", n)
+	}
+	c := &Cluster{opts: opts}
+	for i := 0; i < n; i++ {
+		a, err := NewAgent(net.JoinHostPort(host, "0"))
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("netprobe: starting agent %d: %w", i, err)
+		}
+		c.agents = append(c.agents, a)
+		c.addrs = append(c.addrs, a.Addr())
+	}
+	return c, nil
+}
+
+// N returns the number of agents.
+func (c *Cluster) N() int { return len(c.agents) }
+
+// Agent returns agent i.
+func (c *Cluster) Agent(i int) *Agent { return c.agents[i] }
+
+// RTT implements the prober interface over real sockets: agent i
+// measures agent j. The boolean is false on probe failure.
+func (c *Cluster) RTT(i, j int) (float64, bool) {
+	if i < 0 || j < 0 || i >= len(c.agents) || j >= len(c.agents) {
+		return 0, false
+	}
+	if i == j {
+		return 0, true
+	}
+	rtt, err := c.agents[i].Probe(c.addrs[j], c.opts)
+	if err != nil {
+		return 0, false
+	}
+	return rtt, true
+}
+
+// MeasureMatrix probes every agent pair (both directions, averaged by
+// the matrix's symmetrization) with bounded concurrency and returns
+// the resulting delay matrix in milliseconds. Pairs whose probes all
+// fail are left Missing.
+func (c *Cluster) MeasureMatrix(parallel int) (*delayspace.Matrix, error) {
+	if parallel <= 0 {
+		parallel = 8
+	}
+	n := len(c.agents)
+	m := delayspace.New(n)
+	type pair struct{ i, j int }
+	work := make(chan pair)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range work {
+				if rtt, ok := c.RTT(p.i, p.j); ok {
+					mu.Lock()
+					m.Set(p.i, p.j, rtt)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			work <- pair{i, j}
+		}
+	}
+	close(work)
+	wg.Wait()
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Close shuts every agent down. The first error is returned but all
+// agents are closed regardless.
+func (c *Cluster) Close() error {
+	var first error
+	for _, a := range c.agents {
+		if a == nil {
+			continue
+		}
+		if err := a.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// WaitReady probes agent 0 from agent 1 until it responds or the
+// deadline passes, giving tests a cheap readiness barrier.
+func (c *Cluster) WaitReady(deadline time.Duration) error {
+	if len(c.agents) < 2 {
+		return fmt.Errorf("netprobe: cluster too small")
+	}
+	stop := time.Now().Add(deadline)
+	for time.Now().Before(stop) {
+		if _, err := c.agents[1].Probe(c.addrs[0], ProbeOptions{Timeout: 100 * time.Millisecond}); err == nil {
+			return nil
+		}
+	}
+	return ErrTimeout
+}

@@ -1,0 +1,188 @@
+package netprobe
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newAgent(t *testing.T) *Agent {
+	t.Helper()
+	a, err := NewAgent("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	return a
+}
+
+func TestProbeRoundTrip(t *testing.T) {
+	a := newAgent(t)
+	b := newAgent(t)
+	rtt, err := a.Probe(b.Addr(), ProbeOptions{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt < 0 || rtt > 1000 {
+		t.Errorf("loopback RTT %g ms out of range", rtt)
+	}
+}
+
+func TestProbeBothDirections(t *testing.T) {
+	a := newAgent(t)
+	b := newAgent(t)
+	if _, err := a.Probe(b.Addr(), ProbeOptions{}); err != nil {
+		t.Fatalf("a->b: %v", err)
+	}
+	if _, err := b.Probe(a.Addr(), ProbeOptions{}); err != nil {
+		t.Fatalf("b->a: %v", err)
+	}
+}
+
+func TestProbeTimeout(t *testing.T) {
+	a := newAgent(t)
+	// A blackhole: bind a plain UDP socket that never answers.
+	hole, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hole.Close()
+	start := time.Now()
+	_, err = a.Probe(hole.LocalAddr().(*net.UDPAddr), ProbeOptions{Timeout: 50 * time.Millisecond})
+	if err == nil {
+		t.Fatal("expected timeout")
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("error %v is not ErrTimeout", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("timeout took far too long")
+	}
+}
+
+func TestProbeRetries(t *testing.T) {
+	a := newAgent(t)
+	hole, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hole.Close()
+	start := time.Now()
+	_, err = a.Probe(hole.LocalAddr().(*net.UDPAddr), ProbeOptions{Timeout: 30 * time.Millisecond, Retries: 2})
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Errorf("3 attempts finished in %v; retries not attempted", elapsed)
+	}
+}
+
+func TestProbeAfterClose(t *testing.T) {
+	a := newAgent(t)
+	b := newAgent(t)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Probe(b.Addr(), ProbeOptions{}); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+	// Double close is fine.
+	if err := a.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestIgnoresGarbagePackets(t *testing.T) {
+	a := newAgent(t)
+	b := newAgent(t)
+	// Blast garbage at agent a; it must survive and still answer.
+	garbage, err := net.DialUDP("udp", nil, a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer garbage.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := garbage.Write([]byte("not a tiv packet")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := garbage.Write([]byte{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.Probe(a.Addr(), ProbeOptions{Timeout: time.Second}); err != nil {
+		t.Errorf("agent broken after garbage: %v", err)
+	}
+}
+
+func TestConcurrentProbes(t *testing.T) {
+	a := newAgent(t)
+	b := newAgent(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := a.Probe(b.Addr(), ProbeOptions{Timeout: time.Second}); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent probe: %v", err)
+	}
+}
+
+func TestClusterMeasureMatrix(t *testing.T) {
+	c, err := NewCluster(4, "127.0.0.1", ProbeOptions{Timeout: time.Second, Retries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WaitReady(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.MeasureMatrix(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 4 {
+		t.Fatalf("matrix size %d", m.N())
+	}
+	if got := m.MeasuredPairs(); got != 6 {
+		t.Errorf("measured %d of 6 pairs", got)
+	}
+	if m.MaxDelay() > 1000 {
+		t.Errorf("implausible loopback delay %g ms", m.MaxDelay())
+	}
+}
+
+func TestClusterRTTInterface(t *testing.T) {
+	c, err := NewCluster(3, "127.0.0.1", ProbeOptions{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if d, ok := c.RTT(1, 1); !ok || d != 0 {
+		t.Errorf("self RTT = %g, %v", d, ok)
+	}
+	if _, ok := c.RTT(0, 9); ok {
+		t.Error("out of range should fail")
+	}
+	if _, ok := c.RTT(0, 1); !ok {
+		t.Error("valid probe failed")
+	}
+	if c.N() != 3 || c.Agent(0) == nil {
+		t.Error("accessors broken")
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(1, "127.0.0.1", ProbeOptions{}); err == nil {
+		t.Error("tiny cluster should error")
+	}
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderOptions controls textual rendering of CDFs and bin series.
+type RenderOptions struct {
+	// Points is the number of rows to print for a CDF (sampled at
+	// evenly spaced fractions). Zero means 11 (deciles + max).
+	Points int
+	// Format is the value format verb, e.g. "%.3f". Empty means "%.3f".
+	Format string
+}
+
+func (o RenderOptions) points() int {
+	if o.Points <= 0 {
+		return 11
+	}
+	return o.Points
+}
+
+func (o RenderOptions) format() string {
+	if o.Format == "" {
+		return "%.3f"
+	}
+	return o.Format
+}
+
+// WriteCDFTable prints named CDFs side by side: one row per sampled
+// cumulative fraction, one column per CDF, matching how the paper's
+// CDF figures are read ("at fraction 0.9, curve X is at value v").
+func WriteCDFTable(w io.Writer, names []string, cdfs []CDF, opts RenderOptions) error {
+	if len(names) != len(cdfs) {
+		return fmt.Errorf("stats: %d names for %d CDFs", len(names), len(cdfs))
+	}
+	header := append([]string{"fraction"}, names...)
+	if _, err := fmt.Fprintln(w, strings.Join(header, "\t")); err != nil {
+		return err
+	}
+	n := opts.points()
+	for i := 0; i < n; i++ {
+		p := float64(i) / float64(n-1)
+		row := make([]string, 0, len(cdfs)+1)
+		row = append(row, fmt.Sprintf("%.2f", p))
+		for _, c := range cdfs {
+			if c.Len() == 0 {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf(opts.format(), c.Quantile(p)))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCDFCSV emits "fraction,value" pairs, one block per CDF,
+// suitable for external plotting.
+func WriteCDFCSV(w io.Writer, names []string, cdfs []CDF) error {
+	if len(names) != len(cdfs) {
+		return fmt.Errorf("stats: %d names for %d CDFs", len(names), len(cdfs))
+	}
+	if _, err := fmt.Fprintln(w, "series,value,fraction"); err != nil {
+		return err
+	}
+	for i, c := range cdfs {
+		for j := range c.Values {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", names[i], c.Values[j], c.Fractions[j]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteBinTable prints an error-bar series: one row per bin with
+// 10th/median/90th percentiles, the textual equivalent of the paper's
+// error-bar plots.
+func WriteBinTable(w io.Writer, xLabel, yLabel string, bins []Bin, opts RenderOptions) error {
+	if _, err := fmt.Fprintf(w, "%s\tn\t%s.p10\t%s.median\t%s.p90\n", xLabel, yLabel, yLabel, yLabel); err != nil {
+		return err
+	}
+	f := opts.format()
+	for _, b := range bins {
+		if _, err := fmt.Fprintf(w, "%.0f\t%d\t"+f+"\t"+f+"\t"+f+"\n",
+			b.Center(), b.N, b.P10, b.Median, b.P90); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSeriesTable prints parallel named series sharing an x column.
+// Series shorter than xs are padded with "-".
+func WriteSeriesTable(w io.Writer, xLabel string, xs []float64, names []string, series [][]float64, opts RenderOptions) error {
+	if len(names) != len(series) {
+		return fmt.Errorf("stats: %d names for %d series", len(names), len(series))
+	}
+	header := append([]string{xLabel}, names...)
+	if _, err := fmt.Fprintln(w, strings.Join(header, "\t")); err != nil {
+		return err
+	}
+	f := opts.format()
+	for i, x := range xs {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, s := range series {
+			if i < len(s) {
+				row = append(row, fmt.Sprintf(f, s[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

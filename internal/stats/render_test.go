@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteCDFTable(t *testing.T) {
+	var sb strings.Builder
+	c1 := NewCDF([]float64{1, 2, 3})
+	c2 := NewCDF([]float64{10, 20, 30})
+	if err := WriteCDFTable(&sb, []string{"a", "b"}, []CDF{c1, c2}, RenderOptions{Points: 3}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "fraction\ta\tb") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "3.000") || !strings.Contains(lines[3], "30.000") {
+		t.Errorf("last row = %q", lines[3])
+	}
+}
+
+func TestWriteCDFTableMismatch(t *testing.T) {
+	if err := WriteCDFTable(&strings.Builder{}, []string{"a"}, nil, RenderOptions{}); err == nil {
+		t.Error("expected error on mismatched names/CDFs")
+	}
+}
+
+func TestWriteCDFTableEmptyCDF(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCDFTable(&sb, []string{"x"}, []CDF{{}}, RenderOptions{Points: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "-") {
+		t.Errorf("empty CDF should render dashes:\n%s", sb.String())
+	}
+}
+
+func TestWriteCDFCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCDFCSV(&sb, []string{"s"}, []CDF{NewCDF([]float64{1, 2})}); err != nil {
+		t.Fatal(err)
+	}
+	want := "series,value,fraction\ns,1,0.5\ns,2,1\n"
+	if sb.String() != want {
+		t.Errorf("got %q, want %q", sb.String(), want)
+	}
+	if err := WriteCDFCSV(&strings.Builder{}, []string{"a", "b"}, []CDF{{}}); err == nil {
+		t.Error("expected error on mismatch")
+	}
+}
+
+func TestWriteBinTable(t *testing.T) {
+	var sb strings.Builder
+	bins := BinSeries([]float64{5, 15}, []float64{1, 2}, 10)
+	if err := WriteBinTable(&sb, "delay", "sev", bins, RenderOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "delay\tn\tsev.p10\tsev.median\tsev.p90") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "5\t1\t") {
+		t.Errorf("missing first bin row:\n%s", out)
+	}
+}
+
+func TestWriteSeriesTable(t *testing.T) {
+	var sb strings.Builder
+	err := WriteSeriesTable(&sb, "x", []float64{1, 2}, []string{"a", "b"},
+		[][]float64{{10, 20}, {30}}, RenderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "x\ta\tb") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "2\t20.000\t-") {
+		t.Errorf("padding missing:\n%s", out)
+	}
+	if err := WriteSeriesTable(&sb, "x", nil, []string{"a"}, nil, RenderOptions{}); err == nil {
+		t.Error("expected mismatch error")
+	}
+}
+
+func TestRenderOptionsDefaults(t *testing.T) {
+	var o RenderOptions
+	if o.points() != 11 || o.format() != "%.3f" {
+		t.Errorf("defaults: points=%d format=%q", o.points(), o.format())
+	}
+	o = RenderOptions{Points: 5, Format: "%.1f"}
+	if o.points() != 5 || o.format() != "%.1f" {
+		t.Errorf("overrides: points=%d format=%q", o.points(), o.format())
+	}
+}

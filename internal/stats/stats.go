@@ -1,0 +1,217 @@
+// Package stats provides the small statistical toolkit shared by every
+// experiment in this repository: empirical CDFs, percentile summaries,
+// and the "error bar per delay bin" series the paper plots throughout
+// (10th percentile, median, 90th percentile per bin).
+//
+// All functions are deterministic and allocation-conscious: hot paths
+// sort in place on copies the caller hands over explicitly.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Percentile returns the p-quantile (p in [0,1]) of xs using linear
+// interpolation between closest ranks. xs must be sorted ascending and
+// non-empty; Percentile panics otherwise so that experiment code fails
+// loudly rather than producing silently wrong plots.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		panic(fmt.Sprintf("stats: Percentile fraction %v out of [0,1]", p))
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// PercentileOf sorts a copy of xs and returns the p-quantile.
+func PercentileOf(xs []float64, p float64) float64 {
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	return Percentile(c, p)
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Summary holds the five-number-style summary used in the paper's
+// prose ("the median absolute error is 20ms and the 90th percentile
+// absolute error is 140ms").
+type Summary struct {
+	N      int
+	Min    float64
+	P10    float64
+	Median float64
+	Mean   float64
+	P90    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs. It copies and sorts internally.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	return Summary{
+		N:      len(c),
+		Min:    c[0],
+		P10:    Percentile(c, 0.10),
+		Median: Percentile(c, 0.50),
+		Mean:   Mean(c),
+		P90:    Percentile(c, 0.90),
+		Max:    c[len(c)-1],
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.3f p10=%.3f median=%.3f mean=%.3f p90=%.3f max=%.3f",
+		s.N, s.Min, s.P10, s.Median, s.Mean, s.P90, s.Max)
+}
+
+// CDF is an empirical cumulative distribution function: sorted sample
+// values paired with cumulative fractions. It is the unit of output
+// for most figures in the paper.
+type CDF struct {
+	// Values are the sorted sample points.
+	Values []float64
+	// Fractions[i] is the fraction of samples <= Values[i]; it is
+	// strictly increasing and ends at 1.
+	Fractions []float64
+}
+
+// NewCDF builds an empirical CDF from xs. The input is copied; xs may
+// be in any order. An empty input yields an empty CDF.
+func NewCDF(xs []float64) CDF {
+	if len(xs) == 0 {
+		return CDF{}
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := float64(len(c))
+	// Collapse duplicates so Fractions is strictly increasing.
+	vals := make([]float64, 0, len(c))
+	fracs := make([]float64, 0, len(c))
+	for i := 0; i < len(c); i++ {
+		if len(vals) > 0 && c[i] == vals[len(vals)-1] {
+			fracs[len(fracs)-1] = float64(i+1) / n
+			continue
+		}
+		vals = append(vals, c[i])
+		fracs = append(fracs, float64(i+1)/n)
+	}
+	return CDF{Values: vals, Fractions: fracs}
+}
+
+// At returns the fraction of samples <= x.
+func (c CDF) At(x float64) float64 {
+	i := sort.SearchFloat64s(c.Values, x)
+	// SearchFloat64s returns the first index >= x; we want fraction of
+	// values <= x, so include an exact match.
+	if i < len(c.Values) && c.Values[i] == x {
+		return c.Fractions[i]
+	}
+	if i == 0 {
+		return 0
+	}
+	return c.Fractions[i-1]
+}
+
+// Quantile returns the smallest sample value v such that At(v) >= p.
+// It panics on an empty CDF.
+func (c CDF) Quantile(p float64) float64 {
+	if len(c.Values) == 0 {
+		panic("stats: Quantile of empty CDF")
+	}
+	i := sort.SearchFloat64s(c.Fractions, p)
+	if i >= len(c.Values) {
+		i = len(c.Values) - 1
+	}
+	return c.Values[i]
+}
+
+// Len returns the number of distinct sample points.
+func (c CDF) Len() int { return len(c.Values) }
+
+// Bin is one delay bin of an error-bar series: the paper's figures
+// plot, per 10 ms bin, the 10th percentile, median, and 90th
+// percentile of some quantity.
+type Bin struct {
+	// Lo and Hi bound the bin: values x with Lo <= x < Hi fall in it.
+	Lo, Hi float64
+	// N is the number of samples that fell in the bin.
+	N int
+	// P10, Median, P90 summarize the binned quantity.
+	P10, Median, P90 float64
+	// Mean is included for in-text comparisons.
+	Mean float64
+}
+
+// Center returns the bin midpoint, the x coordinate used when plotting.
+func (b Bin) Center() float64 { return (b.Lo + b.Hi) / 2 }
+
+// BinSeries groups (x, y) samples into fixed-width bins of x and
+// summarizes y within each bin. Bins with no samples are omitted.
+// width must be positive.
+func BinSeries(xs, ys []float64, width float64) []Bin {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: BinSeries length mismatch %d != %d", len(xs), len(ys)))
+	}
+	if width <= 0 || math.IsNaN(width) {
+		panic("stats: BinSeries width must be positive")
+	}
+	if len(xs) == 0 {
+		return nil
+	}
+	byBin := make(map[int][]float64)
+	for i, x := range xs {
+		if math.IsNaN(x) || math.IsNaN(ys[i]) {
+			continue
+		}
+		byBin[int(math.Floor(x/width))] = append(byBin[int(math.Floor(x/width))], ys[i])
+	}
+	idxs := make([]int, 0, len(byBin))
+	for k := range byBin {
+		idxs = append(idxs, k)
+	}
+	sort.Ints(idxs)
+	bins := make([]Bin, 0, len(idxs))
+	for _, k := range idxs {
+		vals := byBin[k]
+		sort.Float64s(vals)
+		bins = append(bins, Bin{
+			Lo:     float64(k) * width,
+			Hi:     float64(k+1) * width,
+			N:      len(vals),
+			P10:    Percentile(vals, 0.10),
+			Median: Percentile(vals, 0.50),
+			P90:    Percentile(vals, 0.90),
+			Mean:   Mean(vals),
+		})
+	}
+	return bins
+}

@@ -1,0 +1,276 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentileSmall(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1},
+		{0.25, 2},
+		{0.5, 3},
+		{0.75, 4},
+		{1, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 0.5); got != 5 {
+		t.Errorf("Percentile(0.5) = %g, want 5", got)
+	}
+	if got := Percentile(xs, 0.9); math.Abs(got-9) > 1e-12 {
+		t.Errorf("Percentile(0.9) = %g, want 9", got)
+	}
+}
+
+func TestPercentileSingleton(t *testing.T) {
+	if got := Percentile([]float64{7}, 0.33); got != 7 {
+		t.Errorf("Percentile singleton = %g, want 7", got)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":    func() { Percentile(nil, 0.5) },
+		"negative": func() { Percentile([]float64{1}, -0.1) },
+		"above1":   func() { Percentile([]float64{1}, 1.1) },
+		"nan":      func() { Percentile([]float64{1}, math.NaN()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPercentileOfUnsorted(t *testing.T) {
+	if got := PercentileOf([]float64{5, 1, 3}, 0.5); got != 3 {
+		t.Errorf("PercentileOf median = %g, want 3", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %g, want 0", got)
+	}
+	if got := Mean([]float64{2, 4}); got != 3 {
+		t.Errorf("Mean = %g, want 3", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+	var empty Summary
+	if got := Summarize(nil); got != empty {
+		t.Errorf("Summarize(nil) = %+v, want zero", got)
+	}
+}
+
+func TestNewCDFBasic(t *testing.T) {
+	c := NewCDF([]float64{3, 1, 2, 2})
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 distinct", c.Len())
+	}
+	if got := c.At(0.5); got != 0 {
+		t.Errorf("At(0.5) = %g, want 0", got)
+	}
+	if got := c.At(1); got != 0.25 {
+		t.Errorf("At(1) = %g, want 0.25", got)
+	}
+	if got := c.At(2); got != 0.75 {
+		t.Errorf("At(2) = %g, want 0.75 (duplicates collapse)", got)
+	}
+	if got := c.At(100); got != 1 {
+		t.Errorf("At(100) = %g, want 1", got)
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40})
+	if got := c.Quantile(0.5); got != 20 {
+		t.Errorf("Quantile(0.5) = %g, want 20", got)
+	}
+	if got := c.Quantile(1); got != 40 {
+		t.Errorf("Quantile(1) = %g, want 40", got)
+	}
+	if got := c.Quantile(0); got != 10 {
+		t.Errorf("Quantile(0) = %g, want 10", got)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.Len() != 0 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Quantile on empty CDF should panic")
+		}
+	}()
+	c.Quantile(0.5)
+}
+
+// Property: a CDF is monotone non-decreasing in both values and
+// fractions, fractions end at exactly 1, and At/Quantile round-trip.
+func TestCDFProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		c := NewCDF(xs)
+		if c.Fractions[len(c.Fractions)-1] != 1 {
+			return false
+		}
+		for i := 1; i < c.Len(); i++ {
+			if c.Values[i] <= c.Values[i-1] {
+				return false
+			}
+			if c.Fractions[i] <= c.Fractions[i-1] {
+				return false
+			}
+		}
+		for i := range c.Values {
+			if c.At(c.Values[i]) != c.Fractions[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		sort.Float64s(xs)
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0; p += 0.05 {
+			v := Percentile(xs, p)
+			if v < prev {
+				t.Fatalf("Percentile not monotone: p=%g gives %g after %g", p, v, prev)
+			}
+			if v < xs[0] || v > xs[n-1] {
+				t.Fatalf("Percentile %g outside [min,max]", v)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestBinSeries(t *testing.T) {
+	xs := []float64{5, 15, 15, 25, 999}
+	ys := []float64{1, 2, 4, 3, 7}
+	bins := BinSeries(xs, ys, 10)
+	if len(bins) != 4 {
+		t.Fatalf("got %d bins, want 4", len(bins))
+	}
+	if bins[0].Lo != 0 || bins[0].Hi != 10 || bins[0].N != 1 || bins[0].Median != 1 {
+		t.Errorf("bin0 = %+v", bins[0])
+	}
+	if bins[1].N != 2 || bins[1].Median != 3 || bins[1].Mean != 3 {
+		t.Errorf("bin1 = %+v", bins[1])
+	}
+	if bins[1].Center() != 15 {
+		t.Errorf("Center = %g", bins[1].Center())
+	}
+	if bins[3].Lo != 990 {
+		t.Errorf("last bin Lo = %g", bins[3].Lo)
+	}
+}
+
+func TestBinSeriesSkipsNaN(t *testing.T) {
+	bins := BinSeries([]float64{math.NaN(), 5}, []float64{1, 2}, 10)
+	if len(bins) != 1 || bins[0].N != 1 {
+		t.Errorf("bins = %+v", bins)
+	}
+}
+
+func TestBinSeriesPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"mismatch":  func() { BinSeries([]float64{1}, nil, 10) },
+		"zerowidth": func() { BinSeries([]float64{1}, []float64{1}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBinSeriesEmpty(t *testing.T) {
+	if bins := BinSeries(nil, nil, 10); bins != nil {
+		t.Errorf("got %v, want nil", bins)
+	}
+}
+
+// Property: every sample lands in exactly one bin and bin percentile
+// ordering P10 <= Median <= P90 holds.
+func TestBinSeriesProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 1000
+			ys[i] = rng.NormFloat64()
+		}
+		bins := BinSeries(xs, ys, 25)
+		total := 0
+		for _, b := range bins {
+			total += b.N
+			if b.P10 > b.Median || b.Median > b.P90 {
+				t.Fatalf("percentile ordering violated: %+v", b)
+			}
+			if b.Lo >= b.Hi {
+				t.Fatalf("bin bounds: %+v", b)
+			}
+		}
+		if total != n {
+			t.Fatalf("binned %d of %d samples", total, n)
+		}
+	}
+}

@@ -1,0 +1,402 @@
+// Package synth generates synthetic Internet delay spaces with
+// realistic triangle inequality violations.
+//
+// The paper's experiments run on four measured data sets (DS2 4000
+// nodes, Meridian 2500, p2psim 1740, PlanetLab 229) that are not
+// redistributable. This package replaces them with a generative model
+// that reproduces the properties the paper measures:
+//
+//   - Nodes live in a small number of major clusters ("continents")
+//     plus a noise cluster, following the DS2 analysis [35].
+//   - The base delay between two nodes is the Euclidean distance of
+//     their cluster positions plus per-node access-link penalties.
+//     This base space satisfies the triangle inequality exactly
+//     (adding non-negative per-node penalties preserves it), so it is
+//     violation-free by construction.
+//   - Routing inefficiency then inflates a random subset of edges by
+//     a heavy-tailed multiplicative factor. Inter-cluster edges are
+//     inflated more often (intercontinental routing has many
+//     alternative paths of varying quality), and a configurable
+//     mid-range "bump" reproduces the irregular severity peak the
+//     paper observes around 500–600 ms on DS2 (Fig 4).
+//
+// Every TIV in the output is therefore attributable to inflation —
+// the same mechanism (policy/circuitous routing) the measurement
+// literature identifies as the cause of real-world TIVs [39].
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tivaware/internal/delayspace"
+)
+
+// ClusterSpec describes one major cluster of the delay space.
+type ClusterSpec struct {
+	// Weight is the relative share of non-noise nodes placed in this
+	// cluster. Weights are normalized over all clusters.
+	Weight float64
+	// Center is the cluster center in the latent geometric space, in
+	// milliseconds.
+	Center []float64
+	// Radius scales the Gaussian spread of nodes around the center.
+	Radius float64
+}
+
+// AccessSpec describes the per-node access link penalty added to both
+// endpoints of every edge (log-normal, in milliseconds).
+type AccessSpec struct {
+	// Median is the median access penalty in ms.
+	Median float64
+	// Sigma is the log-space standard deviation.
+	Sigma float64
+	// SatelliteProb is the probability that a node sits behind a
+	// high-latency access link (satellite, congested last mile). Such
+	// nodes produce genuinely long delays whose alternative paths are
+	// equally long — the far-right, low-severity region of the
+	// paper's Fig 4/Fig 8 (shortest paths jump beyond ~550 ms).
+	SatelliteProb float64
+	// SatelliteMedian is the median extra penalty of such links, ms.
+	SatelliteMedian float64
+}
+
+// InflationSpec describes the routing-inefficiency model that creates
+// the TIVs.
+type InflationSpec struct {
+	// IntraProb is the probability that an intra-cluster edge is
+	// inflated.
+	IntraProb float64
+	// CrossProb is the probability that an inter-cluster edge is
+	// inflated.
+	CrossProb float64
+	// Alpha is the Pareto tail index of the inflation magnitude;
+	// smaller alpha gives a heavier tail (more severe TIVs).
+	Alpha float64
+	// Scale multiplies the Pareto excess: factor = 1 + Scale·(X−1)
+	// with X ~ Pareto(Alpha) on [1, ∞).
+	Scale float64
+	// MaxFactor clamps the inflation factor.
+	MaxFactor float64
+	// MaxExtraMs additionally clamps the *absolute* extra delay an
+	// inflated route can add (0 = unlimited). Circuitous routing adds
+	// bounded propagation delay, so the very longest measured delays
+	// are genuinely long paths rather than inflated short ones — this
+	// is what makes the paper's per-bin severity fall off again beyond
+	// the mid-range peak (Figs 4 and 8).
+	MaxExtraMs float64
+	// BumpLo and BumpHi bound a base-delay band (ms) where inflation
+	// is boosted, reproducing the paper's mid-range severity peak.
+	// A zero-width band disables the bump.
+	BumpLo, BumpHi float64
+	// BumpBoost multiplies the inflation probability inside the band.
+	BumpBoost float64
+	// DeflateProb is the probability that an edge is *deflated* —
+	// served by a route faster than the cluster geometry predicts
+	// (private backbones, direct peering). Deflated edges do not
+	// violate the triangle inequality themselves; they make *other*
+	// edges violate, which is what spreads slight TIVs across the
+	// whole delay space in measured data.
+	DeflateProb float64
+	// DeflateScale scales the Pareto excess of the deflation:
+	// factor = 1 / (1 + DeflateScale·(X−1)).
+	DeflateScale float64
+	// MinFactor clamps the deflation factor from below (0 means 0.4).
+	MinFactor float64
+}
+
+// Config fully determines a synthetic delay space.
+type Config struct {
+	// N is the number of nodes. Must be positive.
+	N int
+	// Dim is the latent space dimension. Zero means 5, matching the
+	// 5-D embedding the paper uses for Vivaldi.
+	Dim int
+	// Clusters lists the major clusters. Must be non-empty.
+	Clusters []ClusterSpec
+	// NoiseFrac is the fraction of nodes not belonging to any major
+	// cluster; they are scattered uniformly across the bounding box
+	// of the cluster centers.
+	NoiseFrac float64
+	// Access is the access-link penalty model.
+	Access AccessSpec
+	// Inflation is the TIV model.
+	Inflation InflationSpec
+	// NoiseSigma is the log-space standard deviation of per-edge
+	// multiplicative measurement noise applied to every delay. Real
+	// matrices carry such noise on every pair, which is why the paper
+	// finds that "most of the edges only cause slight violations" —
+	// without it, un-inflated edges would be exactly metric and cause
+	// none. Zero disables noise (useful for attribution tests).
+	NoiseSigma float64
+	// MissingFrac drops this fraction of measurements from the final
+	// matrix (delayspace.Missing). The measured data sets have such
+	// holes — Fig 3 draws them as black points — and every analysis
+	// must skip them rather than treat them as zero delay.
+	MissingFrac float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Space is a generated delay space together with its ground truth,
+// which tests and experiments use to validate clustering and TIV
+// attribution.
+type Space struct {
+	// Matrix is the final delay matrix (base + inflation).
+	Matrix *delayspace.Matrix
+	// Base is the violation-free metric base matrix.
+	Base *delayspace.Matrix
+	// Labels holds the planted cluster of each node; -1 marks noise.
+	Labels []int
+	// Positions are the latent coordinates, one per node.
+	Positions [][]float64
+	// Inflated[e] reports whether edge e (i*N+j, i<j) was inflated;
+	// exposed via WasInflated.
+	inflated map[[2]int]bool
+	deflated map[[2]int]bool
+}
+
+// WasInflated reports whether the generator inflated the edge (i, j).
+func (s *Space) WasInflated(i, j int) bool {
+	if i > j {
+		i, j = j, i
+	}
+	return s.inflated[[2]int{i, j}]
+}
+
+// InflatedCount returns the number of inflated edges.
+func (s *Space) InflatedCount() int { return len(s.inflated) }
+
+// WasDeflated reports whether the generator deflated the edge (i, j).
+func (s *Space) WasDeflated(i, j int) bool {
+	if i > j {
+		i, j = j, i
+	}
+	return s.deflated[[2]int{i, j}]
+}
+
+// DeflatedCount returns the number of deflated edges.
+func (s *Space) DeflatedCount() int { return len(s.deflated) }
+
+// Generate builds a Space from cfg.
+func Generate(cfg Config) (*Space, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("synth: N = %d, want positive", cfg.N)
+	}
+	if len(cfg.Clusters) == 0 {
+		return nil, fmt.Errorf("synth: no clusters configured")
+	}
+	if cfg.NoiseFrac < 0 || cfg.NoiseFrac >= 1 {
+		return nil, fmt.Errorf("synth: NoiseFrac %g outside [0,1)", cfg.NoiseFrac)
+	}
+	if cfg.MissingFrac < 0 || cfg.MissingFrac >= 1 {
+		return nil, fmt.Errorf("synth: MissingFrac %g outside [0,1)", cfg.MissingFrac)
+	}
+	dim := cfg.Dim
+	if dim == 0 {
+		dim = 5
+	}
+	var totalWeight float64
+	for i, c := range cfg.Clusters {
+		if c.Weight <= 0 {
+			return nil, fmt.Errorf("synth: cluster %d weight %g, want positive", i, c.Weight)
+		}
+		if len(c.Center) != dim {
+			return nil, fmt.Errorf("synth: cluster %d center has %d dims, want %d", i, len(c.Center), dim)
+		}
+		totalWeight += c.Weight
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Assign nodes to clusters (or noise) and place them.
+	labels := make([]int, cfg.N)
+	positions := make([][]float64, cfg.N)
+	lo, hi := boundingBox(cfg.Clusters, dim)
+	for i := 0; i < cfg.N; i++ {
+		if rng.Float64() < cfg.NoiseFrac {
+			labels[i] = -1
+			p := make([]float64, dim)
+			for d := 0; d < dim; d++ {
+				p[d] = lo[d] + rng.Float64()*(hi[d]-lo[d])
+			}
+			positions[i] = p
+			continue
+		}
+		c := pickCluster(rng, cfg.Clusters, totalWeight)
+		labels[i] = c
+		spec := cfg.Clusters[c]
+		p := make([]float64, dim)
+		for d := 0; d < dim; d++ {
+			p[d] = spec.Center[d] + rng.NormFloat64()*spec.Radius
+		}
+		positions[i] = p
+	}
+
+	// Per-node access penalties (log-normal), with an optional heavy
+	// satellite tail.
+	access := make([]float64, cfg.N)
+	if cfg.Access.Median > 0 {
+		mu := math.Log(cfg.Access.Median)
+		for i := range access {
+			access[i] = math.Exp(mu + rng.NormFloat64()*cfg.Access.Sigma)
+		}
+	}
+	if cfg.Access.SatelliteProb > 0 && cfg.Access.SatelliteMedian > 0 {
+		mu := math.Log(cfg.Access.SatelliteMedian)
+		for i := range access {
+			if rng.Float64() < cfg.Access.SatelliteProb {
+				access[i] += math.Exp(mu + rng.NormFloat64()*0.3)
+			}
+		}
+	}
+
+	// Base metric matrix.
+	base := delayspace.New(cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		for j := i + 1; j < cfg.N; j++ {
+			base.Set(i, j, euclid(positions[i], positions[j])+access[i]+access[j])
+		}
+	}
+
+	// Inflate and deflate.
+	final := base.Clone()
+	inflated := make(map[[2]int]bool)
+	deflated := make(map[[2]int]bool)
+	inf := cfg.Inflation
+	minFactor := inf.MinFactor
+	if minFactor <= 0 {
+		minFactor = 0.4
+	}
+	for i := 0; i < cfg.N; i++ {
+		for j := i + 1; j < cfg.N; j++ {
+			d0 := base.At(i, j)
+
+			// Deflation first: a fast private route replaces the
+			// geometric path outright; such an edge is never also
+			// inflated.
+			if inf.DeflateProb > 0 && rng.Float64() < inf.DeflateProb {
+				factor := 1 / (1 + inf.DeflateScale*(paretoSample(rng, inf.Alpha)-1))
+				if factor < minFactor {
+					factor = minFactor
+				}
+				if factor < 1 {
+					final.Set(i, j, d0*factor)
+					deflated[[2]int{i, j}] = true
+					continue
+				}
+			}
+
+			p := inf.IntraProb
+			if labels[i] != labels[j] || labels[i] == -1 {
+				p = inf.CrossProb
+			}
+			if inf.BumpHi > inf.BumpLo && d0 >= inf.BumpLo && d0 < inf.BumpHi {
+				p *= inf.BumpBoost
+			}
+			if p <= 0 || rng.Float64() >= p {
+				continue
+			}
+			factor := 1 + inf.Scale*(paretoSample(rng, inf.Alpha)-1)
+			if inf.MaxFactor > 1 && factor > inf.MaxFactor {
+				factor = inf.MaxFactor
+			}
+			if inf.MaxExtraMs > 0 && d0*(factor-1) > inf.MaxExtraMs {
+				factor = 1 + inf.MaxExtraMs/d0
+			}
+			if factor <= 1 {
+				continue
+			}
+			final.Set(i, j, d0*factor)
+			inflated[[2]int{i, j}] = true
+		}
+	}
+
+	// Measurement noise: every edge wobbles a little, so nearly every
+	// edge ends up in at least a few slight violations, matching the
+	// gradual rise of the paper's severity CDFs (Fig 2).
+	if cfg.NoiseSigma > 0 {
+		for i := 0; i < cfg.N; i++ {
+			for j := i + 1; j < cfg.N; j++ {
+				final.Set(i, j, final.At(i, j)*math.Exp(rng.NormFloat64()*cfg.NoiseSigma))
+			}
+		}
+	}
+
+	// Measurement holes.
+	if cfg.MissingFrac > 0 {
+		for i := 0; i < cfg.N; i++ {
+			for j := i + 1; j < cfg.N; j++ {
+				if rng.Float64() < cfg.MissingFrac {
+					final.Set(i, j, delayspace.Missing)
+				}
+			}
+		}
+	}
+
+	s := &Space{
+		Matrix:    final,
+		Base:      base,
+		Labels:    labels,
+		Positions: positions,
+		inflated:  inflated,
+		deflated:  deflated,
+	}
+	if err := s.Matrix.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: generated invalid matrix: %w", err)
+	}
+	return s, nil
+}
+
+func boundingBox(clusters []ClusterSpec, dim int) (lo, hi []float64) {
+	lo = make([]float64, dim)
+	hi = make([]float64, dim)
+	for d := 0; d < dim; d++ {
+		lo[d] = math.Inf(1)
+		hi[d] = math.Inf(-1)
+	}
+	for _, c := range clusters {
+		for d := 0; d < dim; d++ {
+			if c.Center[d]-2*c.Radius < lo[d] {
+				lo[d] = c.Center[d] - 2*c.Radius
+			}
+			if c.Center[d]+2*c.Radius > hi[d] {
+				hi[d] = c.Center[d] + 2*c.Radius
+			}
+		}
+	}
+	return lo, hi
+}
+
+func pickCluster(rng *rand.Rand, clusters []ClusterSpec, total float64) int {
+	r := rng.Float64() * total
+	for i, c := range clusters {
+		r -= c.Weight
+		if r < 0 {
+			return i
+		}
+	}
+	return len(clusters) - 1
+}
+
+// paretoSample draws from a Pareto distribution on [1, ∞) with tail
+// index alpha (alpha <= 0 degenerates to the constant 1).
+func paretoSample(rng *rand.Rand, alpha float64) float64 {
+	if alpha <= 0 {
+		return 1
+	}
+	u := rng.Float64()
+	if u == 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return math.Pow(u, -1/alpha)
+}
+
+func euclid(a, b []float64) float64 {
+	var s float64
+	for d := range a {
+		diff := a[d] - b[d]
+		s += diff * diff
+	}
+	return math.Sqrt(s)
+}

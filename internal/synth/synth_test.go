@@ -1,0 +1,264 @@
+package synth
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tivaware/internal/delayspace"
+)
+
+func TestGenerateValidates(t *testing.T) {
+	cases := []Config{
+		{N: 0, Clusters: []ClusterSpec{{Weight: 1, Center: make([]float64, 5)}}},
+		{N: 10},
+		{N: 10, Clusters: []ClusterSpec{{Weight: 0, Center: make([]float64, 5)}}},
+		{N: 10, Clusters: []ClusterSpec{{Weight: 1, Center: make([]float64, 3)}}}, // wrong dim (default 5)
+		{N: 10, NoiseFrac: 1.5, Clusters: []ClusterSpec{{Weight: 1, Center: make([]float64, 5)}}},
+	}
+	for i, cfg := range cases {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DS2Like(60, 42)
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		for j := 0; j < 60; j++ {
+			if a.Matrix.At(i, j) != b.Matrix.At(i, j) {
+				t.Fatalf("same seed, different matrices at (%d,%d)", i, j)
+			}
+		}
+	}
+	c, err := Generate(DS2Like(60, 43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < 60 && same; i++ {
+		for j := i + 1; j < 60; j++ {
+			if a.Matrix.At(i, j) != c.Matrix.At(i, j) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical matrices")
+	}
+}
+
+func TestBaseIsMetric(t *testing.T) {
+	// The pre-inflation base space must satisfy the triangle
+	// inequality exactly: geometric distance + per-node penalties.
+	s, err := Generate(DS2Like(40, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Base
+	n := m.N()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				if i == j || j == k || i == k {
+					continue
+				}
+				if m.At(i, j) > m.At(i, k)+m.At(k, j)+1e-9 {
+					t.Fatalf("base space violates TI at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestInflationOnlyStretches(t *testing.T) {
+	cfg := DS2Like(80, 11)
+	cfg.NoiseSigma = 0 // isolate the inflation/deflation mechanisms
+	s, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawInflated, sawDeflated := false, false
+	for i := 0; i < s.Matrix.N(); i++ {
+		for j := i + 1; j < s.Matrix.N(); j++ {
+			d, b := s.Matrix.At(i, j), s.Base.At(i, j)
+			switch {
+			case s.WasInflated(i, j):
+				sawInflated = true
+				if d <= b {
+					t.Fatalf("inflated edge (%d,%d) not longer: %g <= %g", i, j, d, b)
+				}
+				if s.WasDeflated(i, j) {
+					t.Fatalf("edge (%d,%d) both inflated and deflated", i, j)
+				}
+			case s.WasDeflated(i, j):
+				sawDeflated = true
+				if d >= b {
+					t.Fatalf("deflated edge (%d,%d) not shorter: %g >= %g", i, j, d, b)
+				}
+			case d != b:
+				t.Fatalf("untouched edge (%d,%d) changed: %g != %g", i, j, d, b)
+			}
+		}
+	}
+	if !sawInflated {
+		t.Error("no edges inflated at DS2 defaults")
+	}
+	if !sawDeflated {
+		t.Error("no edges deflated at DS2 defaults")
+	}
+	if s.InflatedCount() == 0 || s.DeflatedCount() == 0 {
+		t.Error("counters zero")
+	}
+}
+
+func TestLabelsMatchClusters(t *testing.T) {
+	s, err := Generate(DS2Like(200, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, l := range s.Labels {
+		counts[l]++
+	}
+	if len(counts) < 3 {
+		t.Fatalf("expected >=3 distinct labels, got %v", counts)
+	}
+	// Cluster 0 has the largest weight so should be the biggest.
+	if counts[0] < counts[1] || counts[0] < counts[2] {
+		t.Errorf("cluster sizes %v do not respect weights", counts)
+	}
+	// Intra-cluster base delays should usually be smaller than
+	// cross-cluster ones.
+	var intra, cross, nIntra, nCross float64
+	for i := 0; i < s.Base.N(); i++ {
+		for j := i + 1; j < s.Base.N(); j++ {
+			if s.Labels[i] == -1 || s.Labels[j] == -1 {
+				continue
+			}
+			if s.Labels[i] == s.Labels[j] {
+				intra += s.Base.At(i, j)
+				nIntra++
+			} else {
+				cross += s.Base.At(i, j)
+				nCross++
+			}
+		}
+	}
+	if nIntra == 0 || nCross == 0 {
+		t.Fatal("missing intra or cross edges")
+	}
+	if intra/nIntra >= cross/nCross {
+		t.Errorf("mean intra %g >= mean cross %g", intra/nIntra, cross/nCross)
+	}
+}
+
+func TestEuclideanIsMetric(t *testing.T) {
+	m := Euclidean(30, 400, 5)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n := m.N()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				if i == j || j == k || i == k {
+					continue
+				}
+				if m.At(i, j) > m.At(i, k)+m.At(k, j)+1e-9 {
+					t.Fatalf("Euclidean matrix violates TI")
+				}
+			}
+		}
+	}
+	if m.MaxDelay() > 500 {
+		t.Errorf("max delay %g exceeds requested scale", m.MaxDelay())
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range PresetNames {
+		cfg, err := FromName(name, 50, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Matrix.N() != 50 {
+			t.Errorf("%s: N = %d", name, s.Matrix.N())
+		}
+		size, err := DefaultSize(name)
+		if err != nil || size <= 0 {
+			t.Errorf("%s: DefaultSize = %d, %v", name, size, err)
+		}
+	}
+	if _, err := FromName("bogus", 10, 1); err == nil {
+		t.Error("unknown preset should error")
+	}
+	if _, err := DefaultSize("bogus"); err == nil {
+		t.Error("unknown preset should error")
+	}
+}
+
+func TestParetoSample(t *testing.T) {
+	if got := paretoSample(nil, 0); got != 1 {
+		t.Errorf("alpha<=0 should return 1, got %g", got)
+	}
+}
+
+// Property: generated matrices are valid, delays are finite and
+// non-negative, and the matrix max stays within the clamp implied by
+// the inflation model.
+func TestGenerateProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := DS2Like(30, seed)
+		cfg.NoiseSigma = 0 // make the MaxFactor clamp exactly checkable
+		s, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		if s.Matrix.Validate() != nil {
+			return false
+		}
+		maxBase := s.Base.MaxDelay()
+		for i := 0; i < 30; i++ {
+			for j := i + 1; j < 30; j++ {
+				d := s.Matrix.At(i, j)
+				if math.IsInf(d, 0) || d < 0 {
+					return false
+				}
+				if d > maxBase*5+1e-9 { // MaxFactor = 5 in the DS2 preset
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpaceMatrixIsDelayspace(t *testing.T) {
+	// Interface check: Space matrices interoperate with delayspace I/O.
+	s, err := Generate(P2PSimLike(10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ *delayspace.Matrix = s.Matrix
+	if s.Matrix.MeasuredPairs() != 45 {
+		t.Errorf("complete matrix should have all pairs, got %d", s.Matrix.MeasuredPairs())
+	}
+}

@@ -1,0 +1,149 @@
+package tiv
+
+import (
+	"tivaware/internal/delayspace"
+)
+
+// This file implements the two per-edge TIV metrics the paper
+// *rejects* in §2.1 before defining severity, so their shortcomings
+// can be reproduced quantitatively (experiment "tab2"):
+//
+//   - FractionTIV: the fraction of triangles through the edge that
+//     violate the triangle inequality. Ignores how bad the violations
+//     are: on DS2, 16% of the top-10% edges by fraction sit in the
+//     *lowest* 10% by average ratio.
+//   - AvgTriangulationRatio: the mean ratio over the edge's
+//     violations. Ignores how many violations there are: on DS2, 64%
+//     of the top-10% edges by average ratio cause fewer than 3
+//     violations in total.
+//
+// Severity = (sum of ratios)/|S| repairs both defects by combining
+// count and magnitude.
+
+// FractionTIV returns the fraction of third nodes that witness a
+// violation of edge (i, j), over the third nodes with measurements to
+// both endpoints. It returns 0 when the edge is unmeasured or no
+// third node qualifies.
+func FractionTIV(m *delayspace.Matrix, i, j int) float64 {
+	d := m.At(i, j)
+	if i == j || d == delayspace.Missing {
+		return 0
+	}
+	rowI := m.Row(i)
+	rowJ := m.Row(j)
+	count, witnesses := 0, 0
+	for b := 0; b < m.N(); b++ {
+		if b == i || b == j {
+			continue
+		}
+		db1, db2 := rowI[b], rowJ[b]
+		if db1 == delayspace.Missing || db2 == delayspace.Missing {
+			continue
+		}
+		witnesses++
+		if db1+db2 < d {
+			count++
+		}
+	}
+	if witnesses == 0 {
+		return 0
+	}
+	return float64(count) / float64(witnesses)
+}
+
+// AvgTriangulationRatio returns the mean triangulation ratio
+// d(i,j)/(d(i,b)+d(b,j)) over the third nodes b that witness a
+// violation of edge (i, j), or 0 when the edge causes none.
+func AvgTriangulationRatio(m *delayspace.Matrix, i, j int) float64 {
+	ratios := TriangulationRatios(m, i, j)
+	if len(ratios) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range ratios {
+		sum += r
+	}
+	return sum / float64(len(ratios))
+}
+
+// EdgeMetric is a per-edge scalar metric over a delay matrix.
+type EdgeMetric func(m *delayspace.Matrix, i, j int) float64
+
+// TopEdgesBy returns the frac·numEdges measured edges with the
+// highest metric value (ties broken by edge index for determinism).
+func TopEdgesBy(m *delayspace.Matrix, metric EdgeMetric, frac float64) []delayspace.Edge {
+	if frac <= 0 || frac > 1 {
+		panic("tiv: TopEdgesBy fraction outside (0,1]")
+	}
+	edges := make([]delayspace.Edge, 0, m.N()*(m.N()-1)/2)
+	m.EachEdge(func(i, j int, d float64) bool {
+		edges = append(edges, delayspace.Edge{I: i, J: j, Delay: metric(m, i, j)})
+		return true
+	})
+	sortEdgesBySeverityDesc(edges)
+	k := int(float64(len(edges)) * frac)
+	if k == 0 && len(edges) > 0 {
+		k = 1
+	}
+	return edges[:k]
+}
+
+// MetricDisagreement reproduces the paper's §2.1 critique numbers.
+type MetricDisagreement struct {
+	// FracTopButLowRatio is the share of the top-frac edges by
+	// FractionTIV whose AvgTriangulationRatio falls in the *bottom*
+	// frac of edges with violations (paper: 16% on DS2 at frac=0.1).
+	FracTopButLowRatio float64
+	// RatioTopButFewViolations is the share of the top-frac edges by
+	// AvgTriangulationRatio that cause fewer than minViolations
+	// violations (paper: 64% on DS2 at frac=0.1, minViolations=3).
+	RatioTopButFewViolations float64
+}
+
+// CompareMetrics computes MetricDisagreement at the given top/bottom
+// fraction and violation-count threshold.
+func CompareMetrics(m *delayspace.Matrix, frac float64, minViolations int) MetricDisagreement {
+	topByFraction := TopEdgesBy(m, FractionTIV, frac)
+
+	// Bottom-frac by average ratio, among edges that cause at least
+	// one violation (edges with no violations have no ratio at all).
+	var violating []delayspace.Edge
+	m.EachEdge(func(i, j int, d float64) bool {
+		if r := AvgTriangulationRatio(m, i, j); r > 0 {
+			violating = append(violating, delayspace.Edge{I: i, J: j, Delay: r})
+		}
+		return true
+	})
+	sortEdgesBySeverityDesc(violating)
+	cutoff := int(float64(len(violating)) * frac)
+	if cutoff == 0 && len(violating) > 0 {
+		cutoff = 1
+	}
+	lowRatio := make(map[[2]int]bool)
+	for _, e := range violating[len(violating)-cutoff:] {
+		lowRatio[[2]int{e.I, e.J}] = true
+	}
+
+	var d MetricDisagreement
+	if len(topByFraction) > 0 {
+		hits := 0
+		for _, e := range topByFraction {
+			if lowRatio[[2]int{e.I, e.J}] {
+				hits++
+			}
+		}
+		d.FracTopButLowRatio = float64(hits) / float64(len(topByFraction))
+	}
+
+	topByRatio := violating[:cutoff]
+	if len(topByRatio) > 0 {
+		few := 0
+		for _, e := range topByRatio {
+			if ViolationCount(m, e.I, e.J) < minViolations {
+				few++
+			}
+		}
+		d.RatioTopButFewViolations = float64(few) / float64(len(topByRatio))
+	}
+	return d
+}

@@ -1,0 +1,115 @@
+package tiv
+
+import (
+	"math"
+	"testing"
+
+	"tivaware/internal/delayspace"
+	"tivaware/internal/synth"
+)
+
+func TestFractionTIV(t *testing.T) {
+	m := paperTriangle()
+	// Edge (0,2): one witness (node 1), one violation.
+	if got := FractionTIV(m, 0, 2); got != 1 {
+		t.Errorf("FractionTIV(0,2) = %g, want 1", got)
+	}
+	if got := FractionTIV(m, 0, 1); got != 0 {
+		t.Errorf("FractionTIV(0,1) = %g, want 0", got)
+	}
+	if FractionTIV(m, 1, 1) != 0 {
+		t.Error("self edge must be 0")
+	}
+	holey := delayspace.New(3)
+	holey.Set(0, 1, 5)
+	if FractionTIV(holey, 0, 2) != 0 {
+		t.Error("unmeasured edge must be 0")
+	}
+	// Two-node case: measured edge, no witnesses at all.
+	two := delayspace.New(2)
+	two.Set(0, 1, 5)
+	if FractionTIV(two, 0, 1) != 0 {
+		t.Error("no witnesses must give 0")
+	}
+}
+
+func TestAvgTriangulationRatio(t *testing.T) {
+	m := paperTriangle()
+	if got := AvgTriangulationRatio(m, 0, 2); got != 10 {
+		t.Errorf("AvgTriangulationRatio = %g, want 10", got)
+	}
+	if got := AvgTriangulationRatio(m, 0, 1); got != 0 {
+		t.Errorf("non-violating edge ratio = %g, want 0", got)
+	}
+}
+
+func TestTopEdgesBy(t *testing.T) {
+	m := paperTriangle()
+	top := TopEdgesBy(m, FractionTIV, 0.34)
+	if len(top) != 1 || top[0].I != 0 || top[0].J != 2 {
+		t.Errorf("top = %+v", top)
+	}
+	// Tiny fraction floor.
+	if got := TopEdgesBy(m, FractionTIV, 1e-9); len(got) != 1 {
+		t.Errorf("minimum-one rule broken: %d", len(got))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad fraction should panic")
+		}
+	}()
+	TopEdgesBy(m, FractionTIV, 0)
+}
+
+func TestCompareMetricsReproducesCritique(t *testing.T) {
+	// The §2.1 critique: the two naive metrics disagree — a
+	// substantial share of "worst by fraction" edges have low average
+	// ratios, and a substantial share of "worst by ratio" edges cause
+	// very few violations. Paper numbers on DS2: 16% and 64% at
+	// frac = 0.1, threshold 3 violations.
+	s, err := synth.Generate(synth.DS2Like(250, 19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := CompareMetrics(s.Matrix, 0.1, 3)
+	if d.FracTopButLowRatio < 0 || d.FracTopButLowRatio > 1 ||
+		d.RatioTopButFewViolations < 0 || d.RatioTopButFewViolations > 1 {
+		t.Fatalf("disagreement out of range: %+v", d)
+	}
+	// Both defects must be present (non-trivial disagreement).
+	if d.FracTopButLowRatio == 0 {
+		t.Error("fraction metric never disagreed with ratio metric")
+	}
+	if d.RatioTopButFewViolations == 0 {
+		t.Error("no high-ratio edge with few violations found")
+	}
+}
+
+func TestCompareMetricsDegenerate(t *testing.T) {
+	// A metric space has no violating edges at all; both rates are 0.
+	m := synth.Euclidean(20, 200, 3)
+	d := CompareMetrics(m, 0.1, 3)
+	if d.FracTopButLowRatio != 0 || d.RatioTopButFewViolations != 0 {
+		t.Errorf("metric space disagreement = %+v", d)
+	}
+}
+
+func TestMetricsConsistentWithSeverity(t *testing.T) {
+	// severity = FractionTIV·witnesses·avgRatio / N, so for complete
+	// matrices: severity = fraction·(N-2)·avgRatio/N.
+	s, err := synth.Generate(synth.DS2Like(60, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Matrix
+	n := float64(m.N())
+	m.EachEdge(func(i, j int, d float64) bool {
+		frac := FractionTIV(m, i, j)
+		avg := AvgTriangulationRatio(m, i, j)
+		want := frac * (n - 2) * avg / n
+		if got := Severity(m, i, j); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("severity(%d,%d) = %g, want %g from components", i, j, got, want)
+		}
+		return true
+	})
+}

@@ -1,0 +1,331 @@
+// Package tiv implements the paper's triangle inequality violation
+// analysis (§2): the per-edge TIV severity metric, triangulation
+// ratios, violating-triangle counting, and the proximity experiment of
+// Figure 9.
+//
+// Definitions (paper §2.1). Edge AC causes a violation in triangle ABC
+// when d(A,B) + d(B,C) < d(A,C). The triangulation ratio of that
+// violation is d(A,C)/(d(A,B)+d(B,C)) > 1. The TIV severity of edge AC
+// over node set S is
+//
+//	severity(AC) = Σ_B  d(A,C)/(d(A,B)+d(B,C))  /  |S|
+//
+// summed over the B ∈ S that witness a violation. Severity 0 means the
+// edge causes no violation; larger severity means more and/or worse
+// violations.
+package tiv
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"tivaware/internal/delayspace"
+)
+
+// Severity computes the TIV severity of the single edge (i, j) exactly
+// by scanning every third node. Missing measurements are skipped (they
+// cannot witness a violation).
+func Severity(m *delayspace.Matrix, i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	d := m.At(i, j)
+	if d == delayspace.Missing {
+		return 0
+	}
+	n := m.N()
+	rowI := m.Row(i)
+	rowJ := m.Row(j)
+	var sum float64
+	for b := 0; b < n; b++ {
+		if b == i || b == j {
+			continue
+		}
+		db1 := rowI[b]
+		db2 := rowJ[b]
+		if db1 == delayspace.Missing || db2 == delayspace.Missing {
+			continue
+		}
+		if alt := db1 + db2; alt < d && alt > 0 {
+			sum += d / alt
+		}
+	}
+	return sum / float64(n)
+}
+
+// TriangulationRatios returns the ratios d(i,j)/(d(i,b)+d(b,j)) for
+// every third node b that witnesses a violation of edge (i, j). The
+// paper's Figure 1 illustrates the distribution of these ratios.
+func TriangulationRatios(m *delayspace.Matrix, i, j int) []float64 {
+	d := m.At(i, j)
+	if i == j || d == delayspace.Missing {
+		return nil
+	}
+	rowI := m.Row(i)
+	rowJ := m.Row(j)
+	var out []float64
+	for b := 0; b < m.N(); b++ {
+		if b == i || b == j {
+			continue
+		}
+		db1, db2 := rowI[b], rowJ[b]
+		if db1 == delayspace.Missing || db2 == delayspace.Missing {
+			continue
+		}
+		if alt := db1 + db2; alt < d && alt > 0 {
+			out = append(out, d/alt)
+		}
+	}
+	return out
+}
+
+// ViolationCount returns the number of third nodes witnessing a
+// violation of edge (i, j). The paper reports e.g. "the average number
+// of TIVs caused by edges within the same cluster is 80" on DS2.
+func ViolationCount(m *delayspace.Matrix, i, j int) int {
+	d := m.At(i, j)
+	if i == j || d == delayspace.Missing {
+		return 0
+	}
+	rowI := m.Row(i)
+	rowJ := m.Row(j)
+	count := 0
+	for b := 0; b < m.N(); b++ {
+		if b == i || b == j {
+			continue
+		}
+		db1, db2 := rowI[b], rowJ[b]
+		if db1 == delayspace.Missing || db2 == delayspace.Missing {
+			continue
+		}
+		if db1+db2 < d {
+			count++
+		}
+	}
+	return count
+}
+
+// EdgeSeverities stores the severity of every edge of a matrix,
+// indexed like the matrix itself.
+type EdgeSeverities struct {
+	n    int
+	data []float64
+}
+
+// N returns the node count.
+func (e *EdgeSeverities) N() int { return e.n }
+
+// At returns the severity of edge (i, j); At(i,i) is 0.
+func (e *EdgeSeverities) At(i, j int) float64 { return e.data[i*e.n+j] }
+
+// Values returns the severities of all edges i < j as a flat slice
+// (length N·(N−1)/2), the sample Figures 2 and 9 build CDFs over.
+func (e *EdgeSeverities) Values() []float64 {
+	out := make([]float64, 0, e.n*(e.n-1)/2)
+	for i := 0; i < e.n; i++ {
+		for j := i + 1; j < e.n; j++ {
+			out = append(out, e.At(i, j))
+		}
+	}
+	return out
+}
+
+// WorstEdges returns the frac·numEdges edges with the highest
+// severity, most severe first. frac must lie in (0, 1].
+func (e *EdgeSeverities) WorstEdges(frac float64) []delayspace.Edge {
+	if frac <= 0 || frac > 1 {
+		panic(fmt.Sprintf("tiv: WorstEdges fraction %g outside (0,1]", frac))
+	}
+	edges := make([]delayspace.Edge, 0, e.n*(e.n-1)/2)
+	for i := 0; i < e.n; i++ {
+		for j := i + 1; j < e.n; j++ {
+			edges = append(edges, delayspace.Edge{I: i, J: j, Delay: e.At(i, j)})
+		}
+	}
+	// Partial selection would do, but a full sort keeps the output
+	// deterministic and the edge counts here are modest.
+	sortEdgesBySeverityDesc(edges)
+	k := int(float64(len(edges)) * frac)
+	if k == 0 && len(edges) > 0 {
+		k = 1
+	}
+	return edges[:k]
+}
+
+func sortEdgesBySeverityDesc(edges []delayspace.Edge) {
+	// Severity ties are broken by (I, J) so results are stable across
+	// runs regardless of sort internals.
+	lessFn := func(a, b delayspace.Edge) bool {
+		if a.Delay != b.Delay {
+			return a.Delay > b.Delay
+		}
+		if a.I != b.I {
+			return a.I < b.I
+		}
+		return a.J < b.J
+	}
+	sortSlice(edges, lessFn)
+}
+
+// Options configures severity computation.
+type Options struct {
+	// Workers is the parallelism; zero means GOMAXPROCS.
+	Workers int
+	// SampleThirdNodes, when positive, estimates each edge's severity
+	// from that many randomly chosen third nodes instead of all N.
+	// The estimate is unbiased (the sum is rescaled by N/sample).
+	SampleThirdNodes int
+	// Seed drives sampling.
+	Seed int64
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// AllSeverities computes the severity of every edge. Exact mode is
+// O(N³); sampled mode (Options.SampleThirdNodes) is O(N²·B). Rows are
+// distributed over Options.Workers goroutines.
+func AllSeverities(m *delayspace.Matrix, opts Options) *EdgeSeverities {
+	n := m.N()
+	out := &EdgeSeverities{n: n, data: make([]float64, n*n)}
+	if n < 3 {
+		return out
+	}
+
+	var sample []int
+	if opts.SampleThirdNodes > 0 && opts.SampleThirdNodes < n {
+		rng := rand.New(rand.NewSource(opts.Seed))
+		sample = rng.Perm(n)[:opts.SampleThirdNodes]
+	}
+
+	rows := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range rows {
+				rowI := m.Row(i)
+				for j := i + 1; j < n; j++ {
+					d := rowI[j]
+					if d == delayspace.Missing {
+						continue
+					}
+					var sev float64
+					if sample != nil {
+						sev = sampledSeverity(m, i, j, d, sample)
+					} else {
+						sev = severityScan(m, i, j, d)
+					}
+					out.data[i*n+j] = sev
+					out.data[j*n+i] = sev
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		rows <- i
+	}
+	close(rows)
+	wg.Wait()
+	return out
+}
+
+func severityScan(m *delayspace.Matrix, i, j int, d float64) float64 {
+	rowI := m.Row(i)
+	rowJ := m.Row(j)
+	var sum float64
+	for b := range rowI {
+		if b == i || b == j {
+			continue
+		}
+		db1, db2 := rowI[b], rowJ[b]
+		if db1 == delayspace.Missing || db2 == delayspace.Missing {
+			continue
+		}
+		if alt := db1 + db2; alt < d && alt > 0 {
+			sum += d / alt
+		}
+	}
+	return sum / float64(m.N())
+}
+
+func sampledSeverity(m *delayspace.Matrix, i, j int, d float64, sample []int) float64 {
+	rowI := m.Row(i)
+	rowJ := m.Row(j)
+	var sum float64
+	used := 0
+	for _, b := range sample {
+		if b == i || b == j {
+			continue
+		}
+		used++
+		db1, db2 := rowI[b], rowJ[b]
+		if db1 == delayspace.Missing || db2 == delayspace.Missing {
+			continue
+		}
+		if alt := db1 + db2; alt < d && alt > 0 {
+			sum += d / alt
+		}
+	}
+	if used == 0 {
+		return 0
+	}
+	// Rescale the sampled sum to the full population so sampled and
+	// exact severities are directly comparable.
+	return sum / float64(used)
+}
+
+// ViolatingTriangleFraction estimates the fraction of node triples
+// that violate the triangle inequality (the paper: "around 12% of
+// them violate triangle inequality" on DS2). When the number of
+// triples exceeds maxTriples it samples that many uniformly.
+func ViolatingTriangleFraction(m *delayspace.Matrix, maxTriples int, seed int64) float64 {
+	n := m.N()
+	if n < 3 {
+		return 0
+	}
+	total := n * (n - 1) * (n - 2) / 6
+	violates := func(a, b, c int) bool {
+		ab, bc, ca := m.At(a, b), m.At(b, c), m.At(c, a)
+		if ab == delayspace.Missing || bc == delayspace.Missing || ca == delayspace.Missing {
+			return false
+		}
+		return ab+bc < ca || bc+ca < ab || ca+ab < bc
+	}
+	if maxTriples <= 0 || total <= maxTriples {
+		count, bad := 0, 0
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				for c := b + 1; c < n; c++ {
+					count++
+					if violates(a, b, c) {
+						bad++
+					}
+				}
+			}
+		}
+		return float64(bad) / float64(count)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	bad := 0
+	for t := 0; t < maxTriples; t++ {
+		a := rng.Intn(n)
+		b := rng.Intn(n)
+		c := rng.Intn(n)
+		if a == b || b == c || a == c {
+			t--
+			continue
+		}
+		if violates(a, b, c) {
+			bad++
+		}
+	}
+	return float64(bad) / float64(maxTriples)
+}

@@ -1,0 +1,49 @@
+package vivaldi
+
+import "sort"
+
+// Sampler supplies RTT measurements to a Vivaldi system. When a
+// system is constructed without one, delays are read directly from
+// the matrix (noise-free, the paper's simulation setting). Supplying
+// a jittered prober (e.g. nsim.MatrixProber) models real measurement
+// noise; netprobe agents satisfy the same interface for live use.
+type Sampler interface {
+	RTT(i, j int) (float64, bool)
+}
+
+// medianFilter keeps the last w samples per directed node pair and
+// reports the running median — the statistical filter Ledlie et al.
+// ("network coordinates in the wild") found necessary to stabilize
+// Vivaldi under real measurement noise. The paper under reproduction
+// cites that line of work (§6) but runs on noise-free matrices; the
+// filter is provided as an extension and ablation point.
+type medianFilter struct {
+	w       int
+	samples map[[2]int][]float64
+	scratch []float64
+}
+
+func newMedianFilter(w int) *medianFilter {
+	return &medianFilter{w: w, samples: make(map[[2]int][]float64)}
+}
+
+// add records a sample for the pair and returns the current median.
+func (f *medianFilter) add(i, j int, rtt float64) float64 {
+	key := [2]int{i, j}
+	buf := f.samples[key]
+	if len(buf) == f.w {
+		copy(buf, buf[1:])
+		buf[len(buf)-1] = rtt
+	} else {
+		buf = append(buf, rtt)
+	}
+	f.samples[key] = buf
+
+	f.scratch = append(f.scratch[:0], buf...)
+	sort.Float64s(f.scratch)
+	mid := len(f.scratch) / 2
+	if len(f.scratch)%2 == 1 {
+		return f.scratch[mid]
+	}
+	return (f.scratch[mid-1] + f.scratch[mid]) / 2
+}

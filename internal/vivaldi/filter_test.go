@@ -1,0 +1,109 @@
+package vivaldi
+
+import (
+	"testing"
+
+	"tivaware/internal/nsim"
+	"tivaware/internal/stats"
+	"tivaware/internal/synth"
+)
+
+func TestMedianFilterBasics(t *testing.T) {
+	f := newMedianFilter(3)
+	if got := f.add(0, 1, 10); got != 10 {
+		t.Errorf("first sample median = %g", got)
+	}
+	if got := f.add(0, 1, 20); got != 15 {
+		t.Errorf("two-sample median = %g", got)
+	}
+	if got := f.add(0, 1, 1000); got != 20 {
+		t.Errorf("outlier not suppressed: %g", got)
+	}
+	// Window slides: oldest (10) drops out.
+	if got := f.add(0, 1, 30); got != 30 {
+		t.Errorf("sliding median = %g, want 30 (of 20,1000,30)", got)
+	}
+	// Pairs are independent.
+	if got := f.add(2, 3, 7); got != 7 {
+		t.Errorf("independent pair median = %g", got)
+	}
+}
+
+func TestSamplerFeedsVivaldi(t *testing.T) {
+	m := synth.Euclidean(40, 300, 3)
+	jittered, err := nsim.NewMatrixProber(m, 0.3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(m, Config{Seed: 1, Sampler: jittered})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(100)
+	if jittered.Probes() == 0 {
+		t.Fatal("sampler never consulted")
+	}
+	// Still converges to a sane embedding despite 30% noise.
+	med := stats.Summarize(sys.AbsoluteErrors()).Median
+	if med > 60 {
+		t.Errorf("median error %g under noise; embedding diverged", med)
+	}
+}
+
+func TestFilterImprovesNoisyConvergence(t *testing.T) {
+	// The extension's point: under heavy measurement noise, the
+	// moving-median filter yields a better embedding than raw samples.
+	m := synth.Euclidean(60, 300, 7)
+	run := func(window int) float64 {
+		jittered, err := nsim.NewMatrixProber(m, 0.35, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := NewSystem(m, Config{Seed: 2, Sampler: jittered, FilterWindow: window})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Run(150)
+		return stats.Summarize(sys.AbsoluteErrors()).Median
+	}
+	raw := run(0)
+	filtered := run(5)
+	if filtered >= raw {
+		t.Errorf("filter did not help: raw %.2f vs filtered %.2f", raw, filtered)
+	}
+}
+
+func TestFilterWindowOneIsOff(t *testing.T) {
+	m := synth.Euclidean(10, 100, 11)
+	sys, err := NewSystem(m, Config{Seed: 3, FilterWindow: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.filter != nil {
+		t.Error("window 1 should disable the filter")
+	}
+}
+
+func TestSamplerFailuresSkipped(t *testing.T) {
+	// A sampler refusing some pairs must not wedge the simulation.
+	m := synth.Euclidean(10, 100, 13)
+	sys, err := NewSystem(m, Config{Seed: 4, Sampler: flaky{inner: m}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(20)
+	if sys.Ticks() != 20 {
+		t.Error("simulation stalled")
+	}
+}
+
+type flaky struct {
+	inner interface{ At(i, j int) float64 }
+}
+
+func (f flaky) RTT(i, j int) (float64, bool) {
+	if (i+j)%3 == 0 {
+		return 0, false
+	}
+	return f.inner.At(i, j), true
+}

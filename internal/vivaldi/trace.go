@@ -1,0 +1,102 @@
+package vivaldi
+
+import (
+	"fmt"
+	"math"
+)
+
+// EdgeID identifies a node pair being traced.
+type EdgeID struct{ I, J int }
+
+// OscillationTracker incrementally records, for a set of edges, the
+// minimum and maximum predicted delay observed across simulation
+// ticks. The paper defines the oscillation range of an edge as
+// max(prediction) − min(prediction) over the observation window
+// (Fig 11).
+type OscillationTracker struct {
+	edges []EdgeID
+	min   []float64
+	max   []float64
+	obs   int
+}
+
+// NewOscillationTracker tracks the given edges. Pass nil to track
+// every measured edge of the system's matrix.
+func NewOscillationTracker(s *System, edges []EdgeID) *OscillationTracker {
+	if edges == nil {
+		s.Matrix().EachEdge(func(i, j int, d float64) bool {
+			edges = append(edges, EdgeID{I: i, J: j})
+			return true
+		})
+	}
+	t := &OscillationTracker{
+		edges: edges,
+		min:   make([]float64, len(edges)),
+		max:   make([]float64, len(edges)),
+	}
+	for i := range t.min {
+		t.min[i] = math.Inf(1)
+		t.max[i] = math.Inf(-1)
+	}
+	return t
+}
+
+// Observe samples the current predictions.
+func (t *OscillationTracker) Observe(s *System) {
+	for k, e := range t.edges {
+		p := s.Predict(e.I, e.J)
+		if p < t.min[k] {
+			t.min[k] = p
+		}
+		if p > t.max[k] {
+			t.max[k] = p
+		}
+	}
+	t.obs++
+}
+
+// Observations returns how many times Observe ran.
+func (t *OscillationTracker) Observations() int { return t.obs }
+
+// Ranges returns max−min per tracked edge. It panics when nothing was
+// observed yet.
+func (t *OscillationTracker) Ranges() []float64 {
+	if t.obs == 0 {
+		panic("vivaldi: Ranges before any observation")
+	}
+	out := make([]float64, len(t.edges))
+	for k := range out {
+		out[k] = t.max[k] - t.min[k]
+	}
+	return out
+}
+
+// Edges returns the tracked edges.
+func (t *OscillationTracker) Edges() []EdgeID { return t.edges }
+
+// TraceErrors runs the system for the given number of seconds and
+// records, after every tick, the signed prediction error
+// (predicted − measured) of each requested edge. This regenerates
+// Fig 10's error traces. The returned slice is indexed
+// [edge][second].
+func TraceErrors(s *System, edges []EdgeID, seconds int) ([][]float64, error) {
+	if seconds <= 0 {
+		return nil, fmt.Errorf("vivaldi: TraceErrors over %d seconds", seconds)
+	}
+	for _, e := range edges {
+		if !s.Matrix().Has(e.I, e.J) {
+			return nil, fmt.Errorf("vivaldi: traced edge (%d,%d) has no measurement", e.I, e.J)
+		}
+	}
+	out := make([][]float64, len(edges))
+	for k := range out {
+		out[k] = make([]float64, seconds)
+	}
+	for t := 0; t < seconds; t++ {
+		s.Tick()
+		for k, e := range edges {
+			out[k][t] = s.Predict(e.I, e.J) - s.Matrix().At(e.I, e.J)
+		}
+	}
+	return out, nil
+}
