@@ -106,10 +106,12 @@ func BenchmarkSeverityAllEdges(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			eng := tiv.NewEngine(tiv.Options{})
+			var sev tiv.EdgeSeverities
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				tiv.AllSeverities(sp.Matrix, tiv.Options{})
+				eng.AllSeveritiesInto(&sev, sp.Matrix)
 			}
 		})
 	}
@@ -120,10 +122,39 @@ func BenchmarkSeveritySampledB64(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	eng := tiv.NewEngine(tiv.Options{SampleThirdNodes: 64, Seed: 1})
+	var sev tiv.EdgeSeverities
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tiv.AllSeverities(sp.Matrix, tiv.Options{SampleThirdNodes: 64, Seed: 1})
+		eng.AllSeveritiesInto(&sev, sp.Matrix)
+	}
+}
+
+func BenchmarkViolationCountsAllEdges(b *testing.B) {
+	sp, err := synth.Generate(synth.DS2Like(400, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := tiv.NewEngine(tiv.Options{})
+	var cnt tiv.EdgeCounts
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.AllViolationCountsInto(&cnt, sp.Matrix)
+	}
+}
+
+func BenchmarkViolatingTriangleFractionExact(b *testing.B) {
+	sp, err := synth.Generate(synth.DS2Like(400, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := tiv.NewEngine(tiv.Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.ViolatingTriangleFraction(sp.Matrix, 0, 0)
 	}
 }
 

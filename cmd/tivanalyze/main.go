@@ -69,10 +69,22 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "measured pairs: %d of %d\n", m.MeasuredPairs(), m.N()*(m.N()-1)/2)
 	fmt.Fprintf(stdout, "max delay: %.1f ms\n", m.MaxDelay())
 
-	frac := tiv.ViolatingTriangleFraction(m, 200000, *seed)
-	fmt.Fprintf(stdout, "violating triangle fraction: %.3f\n", frac)
-
-	sev := tiv.AllSeverities(m, tiv.Options{SampleThirdNodes: *sample, Seed: *seed})
+	eng := tiv.NewEngine(tiv.Options{SampleThirdNodes: *sample, Seed: *seed})
+	var sev *tiv.EdgeSeverities
+	var counts *tiv.EdgeCounts
+	if *sample == 0 {
+		// Exact mode: one triple-scan pass yields the severities, the
+		// per-edge violation counts for the worst-edges table, and the
+		// exact violating-triangle fraction.
+		an := eng.Analyze(m)
+		sev, counts = an.Severities, an.Counts
+		fmt.Fprintf(stdout, "violating triangle fraction: %.3f (exact: %d of %d)\n",
+			an.ViolatingTriangleFraction(), an.ViolatingTriangles, an.Triangles)
+	} else {
+		frac := eng.ViolatingTriangleFraction(m, 200000, *seed)
+		fmt.Fprintf(stdout, "violating triangle fraction: %.3f\n", frac)
+		sev = eng.AllSeverities(m)
+	}
 	vals := sev.Values()
 	fmt.Fprintf(stdout, "severity: %s\n\n", stats.Summarize(vals))
 
@@ -125,8 +137,14 @@ func run(args []string, stdout io.Writer) error {
 			edges = edges[:*worst]
 		}
 		for _, e := range edges {
+			count := 0
+			if counts != nil {
+				count = counts.At(e.I, e.J)
+			} else {
+				count = tiv.ViolationCount(m, e.I, e.J)
+			}
 			fmt.Fprintf(stdout, "%d\t%d\t%.1f\t%.4f\t%d\n",
-				e.I, e.J, m.At(e.I, e.J), e.Delay, tiv.ViolationCount(m, e.I, e.J))
+				e.I, e.J, m.At(e.I, e.J), e.Delay, count)
 		}
 	}
 	return nil

@@ -39,6 +39,7 @@ func run(args []string, stdout io.Writer) error {
 		runs    = fs.Int("runs", 0, "methodology repetitions (0 = default 3; paper uses 5)")
 		seconds = fs.Int("seconds", 0, "Vivaldi convergence window in simulated seconds (0 = default 100)")
 		seed    = fs.Int64("seed", 1, "random seed")
+		workers = fs.Int("workers", 0, "severity-engine parallelism (0 = GOMAXPROCS)")
 		csv     = fs.Bool("csv", false, "emit CSV instead of a table")
 		outDir  = fs.String("o", "", "write per-experiment files into this directory instead of stdout")
 	)
@@ -55,7 +56,7 @@ func run(args []string, stdout io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("missing -run (or -list)")
 	}
-	cfg := experiments.Config{N: *n, Runs: *runs, VivaldiSeconds: *seconds, Seed: *seed}
+	cfg := experiments.Config{N: *n, Runs: *runs, VivaldiSeconds: *seconds, Seed: *seed, Workers: *workers}
 
 	var specs []experiments.Spec
 	if *id == "all" {

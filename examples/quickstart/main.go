@@ -27,12 +27,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	frac := tiv.ViolatingTriangleFraction(space.Matrix, 100000, 1)
+	// One engine pass yields the exact violating-triangle count and
+	// every edge's severity (§2.1's metric) together.
+	analysis := tiv.NewEngine(tiv.Options{}).Analyze(space.Matrix)
 	fmt.Printf("delay space: %d nodes, %.0f%% of triangles violate the triangle inequality\n",
-		n, frac*100)
+		n, analysis.ViolatingTriangleFraction()*100)
 
-	// 2. Ground truth: the TIV severity of every edge (§2.1's metric).
-	sev := tiv.AllSeverities(space.Matrix, tiv.Options{})
+	// 2. Ground truth: the TIV severity of every edge.
+	sev := analysis.Severities
 	fmt.Printf("edge severity: %s\n", stats.Summarize(sev.Values()))
 
 	// 3. Embed with Vivaldi (5-D Euclidean, 32 neighbors, the paper's

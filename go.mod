@@ -1,0 +1,3 @@
+module tivaware
+
+go 1.21

@@ -80,16 +80,23 @@ func Cluster(m *delayspace.Matrix, opts Options) (*Clustering, error) {
 		return nil, fmt.Errorf("cluster: %d nodes for %d clusters", n, k)
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
-	dist := func(i, j int) float64 {
+	// distRow holds the distance policy (zero diagonal, Missing pairs
+	// pushed effectively to infinity) with the row lookup hoisted: the
+	// assignment and medoid-refinement loops below scan whole rows,
+	// and indexing a row slice instead of calling At per element keeps
+	// them cheap (they are the only super-linear cost besides the TIV
+	// kernels in the Figure 3/8 pipelines).
+	distRow := func(row []float64, i, j int) float64 {
 		if i == j {
 			return 0
 		}
-		d := m.At(i, j)
+		d := row[j]
 		if d == delayspace.Missing {
 			return math.MaxFloat64 / 4
 		}
 		return d
 	}
+	dist := func(i, j int) float64 { return distRow(m.Row(i), i, j) }
 
 	// k-medoids++ style seeding: first medoid random, the rest chosen
 	// with probability proportional to distance from current medoids.
@@ -130,9 +137,10 @@ func Cluster(m *delayspace.Matrix, opts Options) (*Clustering, error) {
 	labels := make([]int, n)
 	assign := func() {
 		for i := 0; i < n; i++ {
-			best, bestD := 0, dist(i, medoids[0])
+			row := m.Row(i)
+			best, bestD := 0, distRow(row, i, medoids[0])
 			for c := 1; c < k; c++ {
-				if d := dist(i, medoids[c]); d < bestD {
+				if d := distRow(row, i, medoids[c]); d < bestD {
 					best, bestD = c, d
 				}
 			}
@@ -157,9 +165,10 @@ func Cluster(m *delayspace.Matrix, opts Options) (*Clustering, error) {
 			}
 			best, bestCost := medoids[c], math.Inf(1)
 			for _, cand := range members {
+				row := m.Row(cand)
 				var cost float64
 				for _, other := range members {
-					cost += dist(cand, other)
+					cost += distRow(row, cand, other)
 				}
 				if cost < bestCost {
 					best, bestCost = cand, cost

@@ -143,6 +143,7 @@ func ReadBinary(r io.Reader) (*Matrix, error) {
 	for i, row := range rows {
 		copy(m.data[i*size:(i+1)*size], row)
 	}
+	m.rebuildMask()
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}

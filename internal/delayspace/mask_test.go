@@ -1,0 +1,137 @@
+package delayspace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// maskBit reads bit b of row i's measured-bitset.
+func maskBit(m *Matrix, i, b int) bool {
+	return m.MaskRow(i)[b>>6]&(1<<uint(b&63)) != 0
+}
+
+func TestMaskSemantics(t *testing.T) {
+	m := New(70) // spans two mask words
+	if m.MaskWords() != 2 {
+		t.Fatalf("MaskWords = %d, want 2", m.MaskWords())
+	}
+	m.Set(0, 1, 5)
+	m.Set(0, 65, 7)
+	if !maskBit(m, 0, 1) || !maskBit(m, 1, 0) || !maskBit(m, 0, 65) || !maskBit(m, 65, 0) {
+		t.Error("Set did not raise mask bits on both rows")
+	}
+	if maskBit(m, 0, 0) {
+		t.Error("diagonal bit must stay clear: the AND of two rows' masks excludes b==i and b==j for free")
+	}
+	if maskBit(m, 0, 2) {
+		t.Error("unmeasured pair has its bit set")
+	}
+	// Re-setting to Missing clears both directions (synth generators
+	// drop measurements this way).
+	m.Set(0, 65, Missing)
+	if maskBit(m, 0, 65) || maskBit(m, 65, 0) {
+		t.Error("Set(..., Missing) did not clear mask bits")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaskMaintainedByConstructors checks the mask invariant across
+// every construction path via Validate (which verifies bit-for-bit
+// agreement with the data).
+func TestMaskMaintainedByConstructors(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(70)
+		m := New(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				switch rng.Intn(3) {
+				case 0:
+					m.Set(i, j, rng.Float64()*500)
+				case 1:
+					m.Set(i, j, Missing)
+				}
+			}
+		}
+		if m.Validate() != nil {
+			return false
+		}
+		if m.Clone().Validate() != nil {
+			return false
+		}
+		perm := rng.Perm(n)
+		if m.Reorder(perm).Validate() != nil {
+			return false
+		}
+		sub := perm[:1+rng.Intn(n)]
+		if m.Submatrix(sub).Validate() != nil {
+			return false
+		}
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = append([]float64(nil), m.Row(i)...)
+		}
+		fr, err := FromRows(rows)
+		if err != nil || fr.Validate() != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeasuredPairsPopcount(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := New(130)
+	want := 0
+	for i := 0; i < 130; i++ {
+		for j := i + 1; j < 130; j++ {
+			if rng.Intn(2) == 0 {
+				m.Set(i, j, 1+rng.Float64())
+				want++
+			}
+		}
+	}
+	if got := m.MeasuredPairs(); got != want {
+		t.Errorf("MeasuredPairs = %d, want %d", got, want)
+	}
+}
+
+// FuzzMaskMaintenance drives a random Set/clear sequence (decoded from
+// the fuzz input) and checks that the measured-bitsets never drift
+// from the data. The mask is maintained incrementally on every Set, so
+// a single missed clear or stale bit corrupts every TIV kernel.
+func FuzzMaskMaintenance(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 10, 1, 0, 0, 2, 65, 200})
+	f.Add([]byte{7, 7, 1, 3, 4, 0, 3, 4, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 67 // crosses a word boundary
+		m := New(n)
+		for len(data) >= 3 {
+			i, j, v := int(data[0])%n, int(data[1])%n, data[2]
+			data = data[3:]
+			if i == j {
+				continue
+			}
+			if v == 0 {
+				m.Set(i, j, Missing)
+			} else {
+				m.Set(i, j, float64(v))
+			}
+			has := v != 0
+			if m.Has(i, j) != has || maskBit(m, i, j) != has || maskBit(m, j, i) != has {
+				t.Fatalf("after Set(%d,%d,%d): Has=%v maskIJ=%v maskJI=%v",
+					i, j, v, m.Has(i, j), maskBit(m, i, j), maskBit(m, j, i))
+			}
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("mask invariant broken: %v", err)
+		}
+	})
+}

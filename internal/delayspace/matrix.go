@@ -12,6 +12,7 @@ package delayspace
 import (
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Missing marks an absent measurement. The measured data sets the
@@ -22,10 +23,22 @@ const Missing = -1
 // Matrix is a symmetric N×N round-trip delay matrix in milliseconds.
 // The diagonal is zero. Entries equal to Missing denote pairs with no
 // measurement. The zero value is an empty (0-node) matrix.
+//
+// Alongside the delays the matrix maintains one measured-bitset per
+// row: bit b of row i is set exactly when b != i and the pair (i, b)
+// has a measurement. The O(N³) TIV kernels in internal/tiv find
+// witness candidates for an edge (i, j) by AND-ing the two rows'
+// bitsets 64 nodes at a time, which both skips Missing entries without
+// per-element branches and excludes b == i and b == j for free (each
+// row's own diagonal bit is always clear).
 type Matrix struct {
-	n    int
-	data []float64
+	n     int
+	words int // uint64 words per mask row: (n+63)/64
+	data  []float64
+	mask  []uint64 // n*words bits; see MaskRow
 }
+
+func maskWords(n int) int { return (n + 63) / 64 }
 
 // New returns an n×n matrix with all off-diagonal entries Missing and
 // a zero diagonal. It panics if n is negative.
@@ -33,7 +46,8 @@ func New(n int) *Matrix {
 	if n < 0 {
 		panic(fmt.Sprintf("delayspace: negative size %d", n))
 	}
-	m := &Matrix{n: n, data: make([]float64, n*n)}
+	m := &Matrix{n: n, words: maskWords(n), data: make([]float64, n*n)}
+	m.mask = make([]uint64, n*m.words)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if i != j {
@@ -118,15 +132,49 @@ func (m *Matrix) Set(i, j int, d float64) {
 func (m *Matrix) set(i, j int, d float64) {
 	m.data[i*m.n+j] = d
 	m.data[j*m.n+i] = d
+	if d == Missing {
+		m.mask[i*m.words+j>>6] &^= 1 << uint(j&63)
+		m.mask[j*m.words+i>>6] &^= 1 << uint(i&63)
+	} else {
+		m.mask[i*m.words+j>>6] |= 1 << uint(j&63)
+		m.mask[j*m.words+i>>6] |= 1 << uint(i&63)
+	}
+}
+
+// rebuildMask recomputes the measured-bitsets from data, for
+// constructors that fill data directly instead of going through set.
+func (m *Matrix) rebuildMask() {
+	m.words = maskWords(m.n)
+	m.mask = make([]uint64, m.n*m.words)
+	for i := 0; i < m.n; i++ {
+		row := m.data[i*m.n : (i+1)*m.n]
+		mrow := m.mask[i*m.words : (i+1)*m.words]
+		for j, d := range row {
+			if j != i && d != Missing {
+				mrow[j>>6] |= 1 << uint(j&63)
+			}
+		}
+	}
 }
 
 // Row returns a read-only view of row i. Callers must not modify it.
 func (m *Matrix) Row(i int) []float64 { return m.data[i*m.n : (i+1)*m.n] }
 
+// MaskWords returns the number of uint64 words in each row's
+// measured-bitset: ceil(N/64).
+func (m *Matrix) MaskWords() int { return m.words }
+
+// MaskRow returns a read-only view of row i's measured-bitset. Bit b
+// (word b/64, bit b%64) is set exactly when b != i and the pair (i, b)
+// has a measurement; bits at positions ≥ N are always zero. Callers
+// must not modify the slice.
+func (m *Matrix) MaskRow(i int) []uint64 { return m.mask[i*m.words : (i+1)*m.words] }
+
 // Clone returns a deep copy.
 func (m *Matrix) Clone() *Matrix {
-	c := &Matrix{n: m.n, data: make([]float64, len(m.data))}
+	c := &Matrix{n: m.n, words: m.words, data: make([]float64, len(m.data)), mask: make([]uint64, len(m.mask))}
 	copy(c.data, m.data)
+	copy(c.mask, m.mask)
 	return c
 }
 
@@ -165,15 +213,11 @@ func (m *Matrix) Reorder(perm []int) *Matrix {
 // measurement.
 func (m *Matrix) MeasuredPairs() int {
 	count := 0
-	for i := 0; i < m.n; i++ {
-		row := m.Row(i)
-		for j := i + 1; j < m.n; j++ {
-			if row[j] != Missing {
-				count++
-			}
-		}
+	for _, w := range m.mask {
+		count += bits.OnesCount64(w)
 	}
-	return count
+	// Every measured pair contributes one bit to each endpoint's row.
+	return count / 2
 }
 
 // MaxDelay returns the largest measured delay, or 0 for an empty or
@@ -192,8 +236,9 @@ func (m *Matrix) MaxDelay() float64 {
 }
 
 // Validate checks structural invariants: square storage, symmetric
-// entries, zero diagonal, and no negative or NaN delays. Generators
-// and loaders call it before returning a matrix to callers.
+// entries, zero diagonal, no negative or NaN delays, and consistent
+// measured-bitsets. Generators and loaders call it before returning a
+// matrix to callers.
 func (m *Matrix) Validate() error {
 	if len(m.data) != m.n*m.n {
 		return fmt.Errorf("delayspace: storage %d for n=%d", len(m.data), m.n)
@@ -209,6 +254,33 @@ func (m *Matrix) Validate() error {
 			}
 			if math.IsNaN(a) || (a < 0 && a != Missing) {
 				return fmt.Errorf("delayspace: invalid delay %g at (%d,%d)", a, i, j)
+			}
+		}
+	}
+	return m.validateMask()
+}
+
+// validateMask checks that the measured-bitsets agree with data: bit b
+// of row i is set iff b != i and (i, b) is measured, and no bits are
+// set at positions ≥ N.
+func (m *Matrix) validateMask() error {
+	if m.words != maskWords(m.n) || len(m.mask) != m.n*m.words {
+		return fmt.Errorf("delayspace: mask storage %d words/row, %d total for n=%d", m.words, len(m.mask), m.n)
+	}
+	for i := 0; i < m.n; i++ {
+		mrow := m.MaskRow(i)
+		for b := 0; b < m.n; b++ {
+			want := b != i && m.data[i*m.n+b] != Missing
+			got := mrow[b>>6]&(1<<uint(b&63)) != 0
+			if got != want {
+				return fmt.Errorf("delayspace: mask bit (%d,%d) = %v, want %v", i, b, got, want)
+			}
+		}
+		// Tail bits beyond N must stay zero or the TIV kernels would
+		// read out of range.
+		if tail := m.n & 63; tail != 0 && m.words > 0 {
+			if extra := mrow[m.words-1] &^ (1<<uint(tail) - 1); extra != 0 {
+				return fmt.Errorf("delayspace: mask row %d has bits set beyond N", i)
 			}
 		}
 	}

@@ -116,7 +116,7 @@ func AblateSeveritySampling(cfg Config) (Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	exact := tiv.AllSeverities(sp.Matrix, tiv.Options{Workers: cfg.Workers})
+	exact := tiv.NewEngine(tiv.Options{Workers: cfg.Workers}).AllSeverities(sp.Matrix)
 	r := &TableResult{meta: meta{id: "ablate-sampling", title: "Severity estimator: exact vs third-node sampling"}}
 	r.Columns = []string{"estimator", "mean_severity", "mean_abs_diff_vs_exact"}
 	exactVals := exact.Values()
@@ -125,7 +125,7 @@ func AblateSeveritySampling(cfg Config) (Result, error) {
 		if b >= sp.Matrix.N() {
 			continue
 		}
-		sampled := tiv.AllSeverities(sp.Matrix, tiv.Options{Workers: cfg.Workers, SampleThirdNodes: b, Seed: cfg.Seed})
+		sampled := tiv.NewEngine(tiv.Options{Workers: cfg.Workers, SampleThirdNodes: b, Seed: cfg.Seed}).AllSeverities(sp.Matrix)
 		sv := sampled.Values()
 		var diff float64
 		for k := range exactVals {
@@ -181,9 +181,10 @@ func AblateGenerator(cfg Config) (Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		sev := tiv.AllSeverities(sp.Matrix, tiv.Options{Workers: cfg.Workers})
+		eng := tiv.NewEngine(tiv.Options{Workers: cfg.Workers})
+		sev := eng.AllSeverities(sp.Matrix)
 		vals := sev.Values()
-		frac := tiv.ViolatingTriangleFraction(sp.Matrix, 100000, cfg.Seed)
+		frac := eng.ViolatingTriangleFraction(sp.Matrix, 100000, cfg.Seed)
 		cdf := stats.NewCDF(vals)
 		r.Rows = append(r.Rows, []string{
 			presetTitles[preset],

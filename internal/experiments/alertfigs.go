@@ -15,7 +15,7 @@ func alertInputs(cfg Config) (*tiv.EdgeSeverities, []core.EdgeRatio, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	sev := tiv.AllSeverities(sp.Matrix, tiv.Options{Workers: cfg.Workers, Seed: cfg.Seed})
+	sev := cfg.engine().AllSeverities(sp.Matrix)
 	sys, err := cfg.convergedVivaldi(sp.Matrix, 61)
 	if err != nil {
 		return nil, nil, err

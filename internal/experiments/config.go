@@ -17,6 +17,7 @@ import (
 
 	"tivaware/internal/delayspace"
 	"tivaware/internal/synth"
+	"tivaware/internal/tiv"
 	"tivaware/internal/vivaldi"
 )
 
@@ -94,6 +95,13 @@ func scaled(n, num, den int) int {
 		s = 30
 	}
 	return s
+}
+
+// engine returns a TIV severity engine configured for this run. Every
+// experiment computes severities and violation statistics through it;
+// an engine reused across calls also reuses its scratch buffers.
+func (c Config) engine() *tiv.Engine {
+	return tiv.NewEngine(tiv.Options{Workers: c.Workers, Seed: c.Seed})
 }
 
 // space generates the synthetic stand-in for one of the paper's data

@@ -7,7 +7,6 @@ import (
 	"tivaware/internal/meridian"
 	"tivaware/internal/nsim"
 	"tivaware/internal/stats"
-	"tivaware/internal/tiv"
 	"tivaware/internal/vivaldi"
 )
 
@@ -113,7 +112,7 @@ func Fig17(cfg Config) (Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	sev := tiv.AllSeverities(sp.Matrix, tiv.Options{Workers: cfg.Workers, Seed: cfg.Seed})
+	sev := cfg.engine().AllSeverities(sp.Matrix)
 	filter, err := core.NewSeverityFilter(sev, 0.2)
 	if err != nil {
 		return nil, err
@@ -164,7 +163,7 @@ func Fig18(cfg Config) (Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	sev := tiv.AllSeverities(sp.Matrix, tiv.Options{Workers: cfg.Workers, Seed: cfg.Seed})
+	sev := cfg.engine().AllSeverities(sp.Matrix)
 	filter, err := core.NewSeverityFilter(sev, 0.2)
 	if err != nil {
 		return nil, err

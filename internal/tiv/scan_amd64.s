@@ -1,0 +1,78 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuHasAVX2() bool
+//
+// AVX2 requires the CPU feature bit (CPUID.(7,0).EBX[5]), the AVX and
+// OSXSAVE bits (CPUID.1.ECX[28,27]), and the OS having enabled SSE and
+// AVX state saving (XCR0[2:1] == 11).
+TEXT ·cpuHasAVX2(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, R8
+	MOVL $(1<<27 | 1<<28), R9
+	ANDL R9, R8
+	CMPL R8, R9
+	JNE  no
+
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $(1<<5), BX
+	JZ   no
+
+	MOVB $1, ret+0(FP)
+	RET
+
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func violMaskAVX2(ra, rb *float64, n int, dab float64) uint64
+//
+// Bit k of the result is set when dab lies outside
+// [|ra[k]-rb[k]|, ra[k]+rb[k]] — i.e. the triple with side delays
+// (dab, ra[k], rb[k]) violates the triangle inequality. n must be a
+// positive multiple of 4, n <= 64. The VCMPPD ordered comparisons on
+// finite inputs match the scalar kernel's exactly.
+TEXT ·violMaskAVX2(SB), NOSPLIT, $0-40
+	MOVQ ra+0(FP), SI
+	MOVQ rb+8(FP), DI
+	MOVQ n+16(FP), R11
+	VBROADCASTSD dab+24(FP), Y0
+
+	// Y5 = 0x7fffffffffffffff lanes (abs mask).
+	VPCMPEQD Y5, Y5, Y5
+	VPSRLQ   $1, Y5, Y5
+
+	XORQ R9, R9 // accumulated mask
+	XORQ DX, DX // k
+
+loop:
+	VMOVUPD (SI)(DX*8), Y1 // dac lanes
+	VMOVUPD (DI)(DX*8), Y2 // dbc lanes
+	VADDPD  Y2, Y1, Y3     // s  = dac + dbc
+	VSUBPD  Y2, Y1, Y4     // dac - dbc
+	VANDPD  Y5, Y4, Y4     // df = |dac - dbc|
+	VCMPPD  $0x01, Y0, Y3, Y3 // s < dab   (LT_OS)
+	VCMPPD  $0x0e, Y0, Y4, Y4 // df > dab  (GT_OS)
+	VORPD   Y4, Y3, Y3
+	VMOVMSKPD Y3, AX
+	MOVQ    DX, CX
+	SHLQ    CX, AX
+	ORQ     AX, R9
+	ADDQ    $4, DX
+	CMPQ    DX, R11
+	JLT     loop
+
+	VZEROUPPER
+	MOVQ R9, ret+32(FP)
+	RET

@@ -12,14 +12,20 @@
 //
 // summed over the B ∈ S that witness a violation. Severity 0 means the
 // edge causes no violation; larger severity means more and/or worse
-// violations.
+// violations. Both the exact and the sampled estimators divide by
+// |S| = N, so their results are directly comparable.
+//
+// The O(N³) computations run on the shared Engine (see engine.go),
+// which finds witness candidates through the delay matrix's
+// measured-bitsets and scans each node triple exactly once; the naive
+// per-third-node reference scans are retained in reference.go and
+// pinned against the engine by the differential tests.
 package tiv
 
 import (
 	"fmt"
-	"math/rand"
+	"math/bits"
 	"runtime"
-	"sync"
 
 	"tivaware/internal/delayspace"
 )
@@ -35,24 +41,21 @@ func Severity(m *delayspace.Matrix, i, j int) float64 {
 	if d == delayspace.Missing {
 		return 0
 	}
-	n := m.N()
-	rowI := m.Row(i)
-	rowJ := m.Row(j)
+	rowI, rowJ := m.Row(i), m.Row(j)
+	maskI, maskJ := m.MaskRow(i), m.MaskRow(j)
 	var sum float64
-	for b := 0; b < n; b++ {
-		if b == i || b == j {
-			continue
-		}
-		db1 := rowI[b]
-		db2 := rowJ[b]
-		if db1 == delayspace.Missing || db2 == delayspace.Missing {
-			continue
-		}
-		if alt := db1 + db2; alt < d && alt > 0 {
-			sum += d / alt
+	for w, mi := range maskI {
+		and := mi & maskJ[w]
+		base := w << 6
+		for and != 0 {
+			b := base + bits.TrailingZeros64(and)
+			and &= and - 1
+			if alt := rowI[b] + rowJ[b]; alt < d && alt > 0 {
+				sum += d / alt
+			}
 		}
 	}
-	return sum / float64(n)
+	return sum / float64(m.N())
 }
 
 // TriangulationRatios returns the ratios d(i,j)/(d(i,b)+d(b,j)) for
@@ -63,19 +66,18 @@ func TriangulationRatios(m *delayspace.Matrix, i, j int) []float64 {
 	if i == j || d == delayspace.Missing {
 		return nil
 	}
-	rowI := m.Row(i)
-	rowJ := m.Row(j)
+	rowI, rowJ := m.Row(i), m.Row(j)
+	maskI, maskJ := m.MaskRow(i), m.MaskRow(j)
 	var out []float64
-	for b := 0; b < m.N(); b++ {
-		if b == i || b == j {
-			continue
-		}
-		db1, db2 := rowI[b], rowJ[b]
-		if db1 == delayspace.Missing || db2 == delayspace.Missing {
-			continue
-		}
-		if alt := db1 + db2; alt < d && alt > 0 {
-			out = append(out, d/alt)
+	for w, mi := range maskI {
+		and := mi & maskJ[w]
+		base := w << 6
+		for and != 0 {
+			b := base + bits.TrailingZeros64(and)
+			and &= and - 1
+			if alt := rowI[b] + rowJ[b]; alt < d && alt > 0 {
+				out = append(out, d/alt)
+			}
 		}
 	}
 	return out
@@ -84,25 +86,37 @@ func TriangulationRatios(m *delayspace.Matrix, i, j int) []float64 {
 // ViolationCount returns the number of third nodes witnessing a
 // violation of edge (i, j). The paper reports e.g. "the average number
 // of TIVs caused by edges within the same cluster is 80" on DS2.
+// Engine.AllViolationCounts computes every edge's count in one pass.
 func ViolationCount(m *delayspace.Matrix, i, j int) int {
 	d := m.At(i, j)
 	if i == j || d == delayspace.Missing {
 		return 0
 	}
-	rowI := m.Row(i)
-	rowJ := m.Row(j)
+	rowI, rowJ := m.Row(i), m.Row(j)
+	maskI, maskJ := m.MaskRow(i), m.MaskRow(j)
 	count := 0
-	for b := 0; b < m.N(); b++ {
-		if b == i || b == j {
-			continue
+	for w, mi := range maskI {
+		and := mi & maskJ[w]
+		base := w << 6
+		for and != 0 {
+			b := base + bits.TrailingZeros64(and)
+			and &= and - 1
+			if rowI[b]+rowJ[b] < d {
+				count++
+			}
 		}
-		db1, db2 := rowI[b], rowJ[b]
-		if db1 == delayspace.Missing || db2 == delayspace.Missing {
-			continue
-		}
-		if db1+db2 < d {
-			count++
-		}
+	}
+	return count
+}
+
+// witnessCount returns the number of third nodes with measurements to
+// both endpoints of edge (i, j) — the denominator of FractionTIV —
+// via popcounts over the AND-ed measured-bitsets.
+func witnessCount(m *delayspace.Matrix, i, j int) int {
+	maskI, maskJ := m.MaskRow(i), m.MaskRow(j)
+	count := 0
+	for w, mi := range maskI {
+		count += bits.OnesCount64(mi & maskJ[w])
 	}
 	return count
 }
@@ -144,29 +158,80 @@ func (e *EdgeSeverities) WorstEdges(frac float64) []delayspace.Edge {
 			edges = append(edges, delayspace.Edge{I: i, J: j, Delay: e.At(i, j)})
 		}
 	}
-	// Partial selection would do, but a full sort keeps the output
-	// deterministic and the edge counts here are modest.
-	sortEdgesBySeverityDesc(edges)
 	k := int(float64(len(edges)) * frac)
 	if k == 0 && len(edges) > 0 {
 		k = 1
 	}
-	return edges[:k]
+	return selectTopEdges(edges, k)
+}
+
+// edgeLess is the total order all edge rankings use: higher severity
+// (carried in Delay) first, ties broken by (I, J) so results are
+// stable across runs regardless of sort or selection internals.
+func edgeLess(a, b delayspace.Edge) bool {
+	if a.Delay != b.Delay {
+		return a.Delay > b.Delay
+	}
+	if a.I != b.I {
+		return a.I < b.I
+	}
+	return a.J < b.J
 }
 
 func sortEdgesBySeverityDesc(edges []delayspace.Edge) {
-	// Severity ties are broken by (I, J) so results are stable across
-	// runs regardless of sort internals.
-	lessFn := func(a, b delayspace.Edge) bool {
-		if a.Delay != b.Delay {
-			return a.Delay > b.Delay
-		}
-		if a.I != b.I {
-			return a.I < b.I
-		}
-		return a.J < b.J
+	sortSlice(edges, edgeLess)
+}
+
+// selectTopEdges partially selects the k first edges under edgeLess
+// (quickselect with a median-of-three pivot), sorts just that prefix,
+// and returns it — O(E + k log k) instead of a full O(E log E) sort.
+// The output is deterministic because edgeLess is a total order.
+func selectTopEdges(edges []delayspace.Edge, k int) []delayspace.Edge {
+	if k >= len(edges) {
+		sortEdgesBySeverityDesc(edges)
+		return edges
 	}
-	sortSlice(edges, lessFn)
+	lo, hi := 0, len(edges)
+	for hi-lo > 1 && lo < k {
+		p := partitionEdges(edges, lo, hi)
+		switch {
+		case p < k:
+			lo = p + 1
+		case p > k:
+			hi = p
+		default:
+			lo, hi = k, k
+		}
+	}
+	top := edges[:k]
+	sortEdgesBySeverityDesc(top)
+	return top
+}
+
+// partitionEdges partitions edges[lo:hi] (hi exclusive, hi-lo ≥ 2)
+// around a median-of-three pivot and returns the pivot's final index.
+func partitionEdges(e []delayspace.Edge, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	if edgeLess(e[mid], e[lo]) {
+		e[mid], e[lo] = e[lo], e[mid]
+	}
+	if edgeLess(e[hi-1], e[lo]) {
+		e[hi-1], e[lo] = e[lo], e[hi-1]
+	}
+	if edgeLess(e[hi-1], e[mid]) {
+		e[hi-1], e[mid] = e[mid], e[hi-1]
+	}
+	e[mid], e[hi-1] = e[hi-1], e[mid]
+	pivot := e[hi-1]
+	store := lo
+	for i := lo; i < hi-1; i++ {
+		if edgeLess(e[i], pivot) {
+			e[i], e[store] = e[store], e[i]
+			store++
+		}
+	}
+	e[store], e[hi-1] = e[hi-1], e[store]
+	return store
 }
 
 // Options configures severity computation.
@@ -174,8 +239,10 @@ type Options struct {
 	// Workers is the parallelism; zero means GOMAXPROCS.
 	Workers int
 	// SampleThirdNodes, when positive, estimates each edge's severity
-	// from that many randomly chosen third nodes instead of all N.
-	// The estimate is unbiased (the sum is rescaled by N/sample).
+	// from that many randomly chosen third nodes instead of all N. The
+	// estimate is unbiased and on the same |S| = N scale as the exact
+	// severity: the sampled sum is rescaled to the N−2 possible
+	// witnesses, then divided by N.
 	SampleThirdNodes int
 	// Seed drives sampling.
 	Seed int64
@@ -188,144 +255,22 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// AllSeverities computes the severity of every edge. Exact mode is
-// O(N³); sampled mode (Options.SampleThirdNodes) is O(N²·B). Rows are
-// distributed over Options.Workers goroutines.
+// AllSeverities computes the severity of every edge. Exact mode scans
+// each of the O(N³/6) node triples once; sampled mode
+// (Options.SampleThirdNodes) is O(N²·B). Row chunks are distributed
+// over Options.Workers goroutines. Callers computing severities
+// repeatedly should hold an Engine and use AllSeveritiesInto to reuse
+// its scratch.
 func AllSeverities(m *delayspace.Matrix, opts Options) *EdgeSeverities {
-	n := m.N()
-	out := &EdgeSeverities{n: n, data: make([]float64, n*n)}
-	if n < 3 {
-		return out
-	}
-
-	var sample []int
-	if opts.SampleThirdNodes > 0 && opts.SampleThirdNodes < n {
-		rng := rand.New(rand.NewSource(opts.Seed))
-		sample = rng.Perm(n)[:opts.SampleThirdNodes]
-	}
-
-	rows := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < opts.workers(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range rows {
-				rowI := m.Row(i)
-				for j := i + 1; j < n; j++ {
-					d := rowI[j]
-					if d == delayspace.Missing {
-						continue
-					}
-					var sev float64
-					if sample != nil {
-						sev = sampledSeverity(m, i, j, d, sample)
-					} else {
-						sev = severityScan(m, i, j, d)
-					}
-					out.data[i*n+j] = sev
-					out.data[j*n+i] = sev
-				}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		rows <- i
-	}
-	close(rows)
-	wg.Wait()
-	return out
+	return NewEngine(opts).AllSeverities(m)
 }
 
-func severityScan(m *delayspace.Matrix, i, j int, d float64) float64 {
-	rowI := m.Row(i)
-	rowJ := m.Row(j)
-	var sum float64
-	for b := range rowI {
-		if b == i || b == j {
-			continue
-		}
-		db1, db2 := rowI[b], rowJ[b]
-		if db1 == delayspace.Missing || db2 == delayspace.Missing {
-			continue
-		}
-		if alt := db1 + db2; alt < d && alt > 0 {
-			sum += d / alt
-		}
-	}
-	return sum / float64(m.N())
-}
-
-func sampledSeverity(m *delayspace.Matrix, i, j int, d float64, sample []int) float64 {
-	rowI := m.Row(i)
-	rowJ := m.Row(j)
-	var sum float64
-	used := 0
-	for _, b := range sample {
-		if b == i || b == j {
-			continue
-		}
-		used++
-		db1, db2 := rowI[b], rowJ[b]
-		if db1 == delayspace.Missing || db2 == delayspace.Missing {
-			continue
-		}
-		if alt := db1 + db2; alt < d && alt > 0 {
-			sum += d / alt
-		}
-	}
-	if used == 0 {
-		return 0
-	}
-	// Rescale the sampled sum to the full population so sampled and
-	// exact severities are directly comparable.
-	return sum / float64(used)
-}
-
-// ViolatingTriangleFraction estimates the fraction of node triples
-// that violate the triangle inequality (the paper: "around 12% of
-// them violate triangle inequality" on DS2). When the number of
-// triples exceeds maxTriples it samples that many uniformly.
+// ViolatingTriangleFraction returns the fraction of node triples that
+// violate the triangle inequality (the paper: "around 12% of them
+// violate triangle inequality" on DS2). The count is exact — via the
+// engine's blocked triple scan — when the number of triples is within
+// maxTriples (or maxTriples <= 0); otherwise that many triples are
+// sampled uniformly.
 func ViolatingTriangleFraction(m *delayspace.Matrix, maxTriples int, seed int64) float64 {
-	n := m.N()
-	if n < 3 {
-		return 0
-	}
-	total := n * (n - 1) * (n - 2) / 6
-	violates := func(a, b, c int) bool {
-		ab, bc, ca := m.At(a, b), m.At(b, c), m.At(c, a)
-		if ab == delayspace.Missing || bc == delayspace.Missing || ca == delayspace.Missing {
-			return false
-		}
-		return ab+bc < ca || bc+ca < ab || ca+ab < bc
-	}
-	if maxTriples <= 0 || total <= maxTriples {
-		count, bad := 0, 0
-		for a := 0; a < n; a++ {
-			for b := a + 1; b < n; b++ {
-				for c := b + 1; c < n; c++ {
-					count++
-					if violates(a, b, c) {
-						bad++
-					}
-				}
-			}
-		}
-		return float64(bad) / float64(count)
-	}
-	rng := rand.New(rand.NewSource(seed))
-	bad := 0
-	for t := 0; t < maxTriples; t++ {
-		a := rng.Intn(n)
-		b := rng.Intn(n)
-		c := rng.Intn(n)
-		if a == b || b == c || a == c {
-			t--
-			continue
-		}
-		if violates(a, b, c) {
-			bad++
-		}
-	}
-	return float64(bad) / float64(maxTriples)
+	return NewEngine(Options{}).ViolatingTriangleFraction(m, maxTriples, seed)
 }
