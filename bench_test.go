@@ -96,6 +96,7 @@ func BenchmarkAblateRings(b *testing.B)    { benchmarkSpec(b, "ablate-rings") }
 func BenchmarkAblateCoords(b *testing.B)   { benchmarkSpec(b, "ablate-coords") }
 func BenchmarkAblateFilter(b *testing.B)   { benchmarkSpec(b, "ablate-filter") }
 func BenchmarkAblateGen(b *testing.B)      { benchmarkSpec(b, "ablate-generator") }
+func BenchmarkStreamDrift(b *testing.B)    { benchmarkSpec(b, "stream-drift") }
 
 // Micro-benchmarks of the primitives the experiments are built from.
 
@@ -154,7 +155,61 @@ func BenchmarkViolatingTriangleFractionExact(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		eng.ViolatingTriangleFraction(sp.Matrix, 0, 0)
+		eng.ViolatingTriangleFraction(sp.Matrix, 0)
+	}
+}
+
+// BenchmarkMonitorApplyUpdate measures one incremental O(N) delta of
+// the streaming monitor. Compare against BenchmarkMonitorRescanPerUpdate
+// (or BenchmarkSeverityAllEdges) for the batch-rescan-per-update cost
+// the monitor replaces — the acceptance bar is a ≥ 50× gap at n=400.
+func BenchmarkMonitorApplyUpdate(b *testing.B) {
+	for _, n := range []int{100, 400} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			sp, err := synth.Generate(synth.DS2Like(n, 1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			mon := tiv.NewMonitor(sp.Matrix, tiv.MonitorOptions{JournalSize: -1})
+			edges := sp.Matrix.Edges()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := edges[i%len(edges)]
+				// A value that genuinely differs on every visit, so the
+				// same-value fast path never short-circuits the delta.
+				rtt := e.Delay * (0.75 + float64(i%1009)/2018)
+				if rtt == sp.Matrix.At(e.I, e.J) {
+					rtt *= 1.0001
+				}
+				if _, err := mon.ApplyUpdate(e.I, e.J, rtt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMonitorRescanPerUpdate is the pre-monitor strategy: mutate
+// one edge, then recompute every severity with a full batch pass.
+func BenchmarkMonitorRescanPerUpdate(b *testing.B) {
+	for _, n := range []int{400} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			sp, err := synth.Generate(synth.DS2Like(n, 1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng := tiv.NewEngine(tiv.Options{})
+			var sev tiv.EdgeSeverities
+			edges := sp.Matrix.Edges()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := edges[i%len(edges)]
+				sp.Matrix.Set(e.I, e.J, e.Delay*(0.75+float64(i%1009)/2018))
+				eng.AllSeveritiesInto(&sev, sp.Matrix)
+			}
+		})
 	}
 }
 

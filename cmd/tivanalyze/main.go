@@ -81,7 +81,7 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "violating triangle fraction: %.3f (exact: %d of %d)\n",
 			an.ViolatingTriangleFraction(), an.ViolatingTriangles, an.Triangles)
 	} else {
-		frac := eng.ViolatingTriangleFraction(m, 200000, *seed)
+		frac := eng.ViolatingTriangleFraction(m, 200000)
 		fmt.Fprintf(stdout, "violating triangle fraction: %.3f\n", frac)
 		sev = eng.AllSeverities(m)
 	}

@@ -13,6 +13,12 @@
 // Or demonstrate a full matrix measurement on loopback:
 //
 //	tivprobe -mesh 16 -out matrix.csv
+//
+// With -watch, the mesh keeps re-measuring and feeds every round of
+// live probes into an incremental tiv.Monitor, reporting the violating
+// triangle fraction and the worst TIV edges as they move:
+//
+//	tivprobe -mesh 16 -watch 5 -top 3
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 
 	"tivaware/internal/delayspace"
 	"tivaware/internal/netprobe"
+	"tivaware/internal/tiv"
 )
 
 func main() {
@@ -47,6 +54,8 @@ func run(args []string, stdout io.Writer) error {
 		timeout  = fs.Duration("timeout", time.Second, "per-probe timeout")
 		mesh     = fs.Int("mesh", 0, "run this many loopback agents and measure their full matrix")
 		out      = fs.String("out", "", "matrix output file for -mesh (default stdout)")
+		watch    = fs.Int("watch", 0, "re-measure the mesh this many rounds, feeding a live TIV monitor")
+		top      = fs.Int("top", 5, "worst TIV edges to report per -watch round")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,7 +77,10 @@ func run(args []string, stdout io.Writer) error {
 	case *probe != "":
 		return runProbe(stdout, *probe, *count, *timeout)
 	default:
-		return runMesh(stdout, *mesh, *out, *timeout)
+		if *watch < 0 || *top < 0 {
+			return fmt.Errorf("-watch and -top must be >= 0")
+		}
+		return runMesh(stdout, *mesh, *out, *timeout, *watch, *top)
 	}
 }
 
@@ -125,7 +137,7 @@ func runProbe(stdout io.Writer, targets string, count int, timeout time.Duration
 	return nil
 }
 
-func runMesh(stdout io.Writer, n int, out string, timeout time.Duration) error {
+func runMesh(stdout io.Writer, n int, out string, timeout time.Duration, watch, top int) error {
 	cluster, err := netprobe.NewCluster(n, "127.0.0.1", netprobe.ProbeOptions{Timeout: timeout, Retries: 1})
 	if err != nil {
 		return err
@@ -148,6 +160,11 @@ func runMesh(stdout io.Writer, n int, out string, timeout time.Duration) error {
 		fmt.Fprintf(stdout, "# mesh of %d agents: %d pairs, median RTT %.3f ms, max %.3f ms\n",
 			n, len(rtts), rtts[len(rtts)/2], rtts[len(rtts)-1])
 	}
+	if watch > 0 {
+		if err := runWatch(stdout, cluster, m, watch, top); err != nil {
+			return err
+		}
+	}
 	w := stdout
 	if out != "" {
 		f, err := os.Create(out)
@@ -158,4 +175,44 @@ func runMesh(stdout io.Writer, n int, out string, timeout time.Duration) error {
 		return delayspace.WriteCSV(f, m)
 	}
 	return delayspace.WriteCSV(w, m)
+}
+
+// runWatch keeps re-measuring the mesh and streams each round of live
+// probes into an incremental TIV monitor: the deployment-shaped
+// version of the paper's pitch that systems should detect and react to
+// violations at runtime, not analyze a frozen matrix offline. The
+// final round's measurements stay in m, so the matrix the caller
+// writes out reflects what the monitor last saw.
+func runWatch(stdout io.Writer, cluster *netprobe.Cluster, m *delayspace.Matrix, rounds, top int) error {
+	mon := tiv.NewMonitor(m, tiv.MonitorOptions{})
+	fmt.Fprintf(stdout, "# monitor baseline: violating triangle fraction %.4f over %d triples\n",
+		mon.ViolatingTriangleFraction(), mon.Triangles())
+	printTopEdges(stdout, mon, top)
+	var updates []tiv.Update
+	for round := 1; round <= rounds; round++ {
+		fresh, err := cluster.MeasureMatrix(8)
+		if err != nil {
+			return err
+		}
+		updates = updates[:0]
+		fresh.EachEdge(func(i, j int, d float64) bool {
+			updates = append(updates, tiv.Update{I: i, J: j, RTT: d})
+			return true
+		})
+		cs, err := mon.ApplyBatch(updates)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "# watch round %d: %d probes applied, violating fraction %.4f, violated edges +%d/-%d\n",
+			round, len(updates), mon.ViolatingTriangleFraction(), len(cs.NewlyViolated), len(cs.Cleared))
+		printTopEdges(stdout, mon, top)
+	}
+	return nil
+}
+
+func printTopEdges(stdout io.Writer, mon *tiv.Monitor, top int) {
+	for _, e := range mon.TopEdges(top) {
+		fmt.Fprintf(stdout, "#   top edge %d-%d: severity %.4f, rtt %.3f ms\n",
+			e.I, e.J, e.Delay, mon.Matrix().At(e.I, e.J))
+	}
 }

@@ -111,6 +111,55 @@ func TestMeshWritesMatrix(t *testing.T) {
 	}
 }
 
+// TestMeshWatchFeedsMonitor runs the live-monitor loop on a loopback
+// mesh: every round must report the violating fraction and the worst
+// edges, and the final matrix must still round-trip.
+func TestMeshWatchFeedsMonitor(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "mesh.csv")
+	var sb strings.Builder
+	if err := run([]string{"-mesh", "4", "-watch", "2", "-top", "2", "-out", out}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{
+		"monitor baseline: violating triangle fraction",
+		"watch round 1:",
+		"watch round 2:",
+		"probes applied",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("watch output missing %q:\n%s", want, got)
+		}
+	}
+	// Two rounds over 6 edges each: both report top edges (possibly
+	// severity 0 on a loopback mesh, but the lines must be there).
+	if n := strings.Count(got, "top edge"); n != 6 { // baseline + 2 rounds, 2 edges each
+		t.Errorf("expected 6 top-edge lines, got %d:\n%s", n, got)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := delayspace.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 4 {
+		t.Errorf("final matrix has %d nodes, want 4", m.N())
+	}
+}
+
+func TestWatchValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-mesh", "3", "-watch", "-1"}, &sb); err == nil {
+		t.Error("negative -watch should error")
+	}
+	if err := run([]string{"-mesh", "3", "-top", "-2"}, &sb); err == nil {
+		t.Error("negative -top should error")
+	}
+}
+
 func TestMeshToStdout(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-mesh", "3"}, &sb); err != nil {

@@ -36,6 +36,12 @@ type Matrix struct {
 	words int // uint64 words per mask row: (n+63)/64
 	data  []float64
 	mask  []uint64 // n*words bits; see MaskRow
+
+	// version counts mutations; hooks observe them. See Version and
+	// OnChange. Neither is copied by Clone/Submatrix/Reorder: a copy is
+	// a fresh matrix with its own history.
+	version uint64
+	hooks   []func(i, j int, old, new float64)
 }
 
 func maskWords(n int) int { return (n + 63) / 64 }
@@ -130,6 +136,7 @@ func (m *Matrix) Set(i, j int, d float64) {
 }
 
 func (m *Matrix) set(i, j int, d float64) {
+	old := m.data[i*m.n+j]
 	m.data[i*m.n+j] = d
 	m.data[j*m.n+i] = d
 	if d == Missing {
@@ -139,11 +146,32 @@ func (m *Matrix) set(i, j int, d float64) {
 		m.mask[i*m.words+j>>6] |= 1 << uint(j&63)
 		m.mask[j*m.words+i>>6] |= 1 << uint(i&63)
 	}
+	m.version++
+	for _, fn := range m.hooks {
+		fn(i, j, old, d)
+	}
+}
+
+// Version returns a counter incremented on every mutation (each Set,
+// and once per bulk rebuild by the binary loader). Incremental
+// consumers such as tiv.Monitor record the version they last synced to
+// and treat any other value as evidence of an out-of-band change.
+func (m *Matrix) Version() uint64 { return m.version }
+
+// OnChange registers fn to run after every mutation with the edge and
+// its old and new delays (either may be Missing). Hooks run
+// synchronously on the mutating goroutine and must not mutate the
+// matrix. Hooks cannot be unregistered; register on a matrix you own.
+func (m *Matrix) OnChange(fn func(i, j int, old, new float64)) {
+	m.hooks = append(m.hooks, fn)
 }
 
 // rebuildMask recomputes the measured-bitsets from data, for
 // constructors that fill data directly instead of going through set.
+// It counts as one mutation for Version (hooks do not fire: there is
+// no per-edge old/new to report for a bulk fill).
 func (m *Matrix) rebuildMask() {
+	m.version++
 	m.words = maskWords(m.n)
 	m.mask = make([]uint64, m.n*m.words)
 	for i := 0; i < m.n; i++ {

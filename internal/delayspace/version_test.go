@@ -1,0 +1,75 @@
+package delayspace
+
+import "testing"
+
+func TestVersionCountsMutations(t *testing.T) {
+	m := New(4)
+	v0 := m.Version()
+	m.Set(0, 1, 5)
+	if m.Version() != v0+1 {
+		t.Errorf("Version after one Set: %d, want %d", m.Version(), v0+1)
+	}
+	m.Set(0, 1, Missing)
+	m.Set(2, 3, 7)
+	if m.Version() != v0+3 {
+		t.Errorf("Version after three Sets: %d, want %d", m.Version(), v0+3)
+	}
+}
+
+func TestVersionNotCopied(t *testing.T) {
+	m := New(3)
+	m.Set(0, 1, 5)
+	if c := m.Clone(); c.Version() != 0 {
+		t.Errorf("Clone carried version %d, want 0 (fresh history)", c.Version())
+	}
+	if s := m.Submatrix([]int{0, 1}); s.Version() == 0 {
+		// Submatrix goes through set, so it has its own non-zero count;
+		// the point is it is not tied to the source's counter.
+		t.Error("Submatrix should have its own mutation history")
+	}
+}
+
+func TestOnChangeObservesSets(t *testing.T) {
+	m := New(5)
+	type ev struct {
+		i, j     int
+		old, new float64
+	}
+	var got []ev
+	m.OnChange(func(i, j int, old, new float64) {
+		got = append(got, ev{i, j, old, new})
+	})
+	m.Set(1, 2, 10)
+	m.Set(1, 2, 12)
+	m.Set(1, 2, Missing)
+	want := []ev{
+		{1, 2, Missing, 10},
+		{1, 2, 10, 12},
+		{1, 2, 12, Missing},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("hook fired %d times, want %d", len(got), len(want))
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Errorf("event %d: %+v, want %+v", k, got[k], want[k])
+		}
+	}
+	// A clone must not inherit the hook.
+	c := m.Clone()
+	c.Set(0, 1, 3)
+	if len(got) != len(want) {
+		t.Error("hook fired for a mutation of a clone")
+	}
+}
+
+func TestOnChangeMultipleHooks(t *testing.T) {
+	m := New(3)
+	a, b := 0, 0
+	m.OnChange(func(int, int, float64, float64) { a++ })
+	m.OnChange(func(int, int, float64, float64) { b++ })
+	m.Set(0, 2, 4)
+	if a != 1 || b != 1 {
+		t.Errorf("hooks fired (%d, %d) times, want (1, 1)", a, b)
+	}
+}

@@ -181,10 +181,10 @@ func AblateGenerator(cfg Config) (Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		eng := tiv.NewEngine(tiv.Options{Workers: cfg.Workers})
+		eng := tiv.NewEngine(tiv.Options{Workers: cfg.Workers, Seed: cfg.Seed})
 		sev := eng.AllSeverities(sp.Matrix)
 		vals := sev.Values()
-		frac := eng.ViolatingTriangleFraction(sp.Matrix, 100000, cfg.Seed)
+		frac := eng.ViolatingTriangleFraction(sp.Matrix, 100000)
 		cdf := stats.NewCDF(vals)
 		r.Rows = append(r.Rows, []string{
 			presetTitles[preset],

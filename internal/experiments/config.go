@@ -101,7 +101,13 @@ func scaled(n, num, den int) int {
 // experiment computes severities and violation statistics through it;
 // an engine reused across calls also reuses its scratch buffers.
 func (c Config) engine() *tiv.Engine {
-	return tiv.NewEngine(tiv.Options{Workers: c.Workers, Seed: c.Seed})
+	return c.engineSeeded(c.Seed)
+}
+
+// engineSeeded is engine with an explicit sampling seed, for
+// experiments that decorrelate several sampled analyses in one run.
+func (c Config) engineSeeded(seed int64) *tiv.Engine {
+	return tiv.NewEngine(tiv.Options{Workers: c.Workers, Seed: seed})
 }
 
 // space generates the synthetic stand-in for one of the paper's data

@@ -53,6 +53,7 @@ var Specs = []Spec{
 	{"ablate-coords", "All delay predictors on neighbor selection", AblateCoords},
 	{"ablate-filter", "Vivaldi under measurement noise: median filter", AblateFilter},
 	{"ablate-generator", "Synthetic data set TIV profiles", AblateGenerator},
+	{"stream-drift", "Streaming monitor: severity drift vs update rate", StreamDrift},
 }
 
 // Lookup finds an experiment by ID.

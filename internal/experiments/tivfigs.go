@@ -226,7 +226,7 @@ func Tab1(cfg Config) (Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	frac := cfg.engine().ViolatingTriangleFraction(sp.Matrix, 200000, cfg.Seed+3)
+	frac := cfg.engineSeeded(cfg.Seed+3).ViolatingTriangleFraction(sp.Matrix, 200000)
 	sys, err := cfg.convergedVivaldi(sp.Matrix, 11)
 	if err != nil {
 		return nil, err

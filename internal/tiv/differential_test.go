@@ -87,7 +87,7 @@ func TestEngineMatchesReferenceExact(t *testing.T) {
 			if got := an.ViolatingTriangleFraction(); math.Abs(got-wantFrac) > 1e-12 {
 				t.Fatalf("case %+v workers=%d: violating fraction %g, reference %g", tc, workers, got, wantFrac)
 			}
-			if got := eng.ViolatingTriangleFraction(m, 0, 1); math.Abs(got-wantFrac) > 1e-12 {
+			if got := eng.ViolatingTriangleFraction(m, 0); math.Abs(got-wantFrac) > 1e-12 {
 				t.Fatalf("case %+v workers=%d: exact blocked fraction %g, reference %g", tc, workers, got, wantFrac)
 			}
 		}

@@ -52,6 +52,17 @@ type Engine struct {
 // NewEngine returns an engine computing with the given options.
 func NewEngine(opts Options) *Engine { return &Engine{opts: opts} }
 
+// rng returns the RNG behind the engine's sampled paths: the injected
+// Options.Rand when present (advancing across calls, so multi-call
+// experiments replay exactly from one source), else a fresh source
+// seeded by Options.Seed (so an isolated call reproduces its result).
+func (e *Engine) rng() *rand.Rand {
+	if e.opts.Rand != nil {
+		return e.opts.Rand
+	}
+	return rand.New(rand.NewSource(e.opts.Seed))
+}
+
 // EdgeCounts stores the violation count of every edge of a matrix,
 // indexed like the matrix itself.
 type EdgeCounts struct {
@@ -156,8 +167,9 @@ func (e *Engine) Analyze(m *delayspace.Matrix) Analysis {
 // violate the triangle inequality. When the number of triples is
 // within maxTriples (or maxTriples <= 0) the count is exact, via the
 // blocked triple-scan kernel; otherwise that many triples are sampled
-// uniformly, seeded by seed.
-func (e *Engine) ViolatingTriangleFraction(m *delayspace.Matrix, maxTriples int, seed int64) float64 {
+// uniformly, drawn from the engine's RNG (Options.Rand, or a fresh
+// source seeded by Options.Seed per call).
+func (e *Engine) ViolatingTriangleFraction(m *delayspace.Matrix, maxTriples int) float64 {
 	n := m.N()
 	if n < 3 {
 		return 0
@@ -167,7 +179,7 @@ func (e *Engine) ViolatingTriangleFraction(m *delayspace.Matrix, maxTriples int,
 		bad := e.scanAll(m, nil, nil, nil)
 		return float64(bad) / float64(total)
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := e.rng()
 	bad := 0
 	for t := 0; t < maxTriples; t++ {
 		a := rng.Intn(n)
@@ -657,7 +669,7 @@ func (e *Engine) sampleThirdNodes(n, k int) []int {
 	for i := range idx {
 		idx[i] = i
 	}
-	rng := rand.New(rand.NewSource(e.opts.Seed))
+	rng := e.rng()
 	for i := 0; i < k; i++ {
 		j := i + rng.Intn(n-i)
 		idx[i], idx[j] = idx[j], idx[i]

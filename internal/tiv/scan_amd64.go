@@ -1,4 +1,7 @@
-//go:build amd64
+// The purego tag forces the portable Go scan path on amd64, so CI can
+// exercise both implementations on the same machine.
+
+//go:build amd64 && !purego
 
 package tiv
 

@@ -15,7 +15,7 @@ func TestQueueSchedulingCoversAllChunks(t *testing.T) {
 	want := referenceViolatingTriangleFraction(m)
 	for _, workers := range []int{2, 3, 5, 8} {
 		eng := NewEngine(Options{Workers: workers})
-		if got := eng.ViolatingTriangleFraction(m, 0, 1); math.Abs(got-want) > 1e-12 {
+		if got := eng.ViolatingTriangleFraction(m, 0); math.Abs(got-want) > 1e-12 {
 			t.Fatalf("workers=%d: fraction %g, reference %g (chunk lost by the work queue?)", workers, got, want)
 		}
 		cnt := eng.AllViolationCounts(m)
