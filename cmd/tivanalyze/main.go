@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -18,6 +19,7 @@ import (
 	"tivaware/internal/delayspace"
 	"tivaware/internal/stats"
 	"tivaware/internal/tiv"
+	"tivaware/internal/tivaware"
 )
 
 func main() {
@@ -69,21 +71,30 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "measured pairs: %d of %d\n", m.MeasuredPairs(), m.N()*(m.N()-1)/2)
 	fmt.Fprintf(stdout, "max delay: %.1f ms\n", m.MaxDelay())
 
-	eng := tiv.NewEngine(tiv.Options{SampleThirdNodes: *sample, Seed: *seed})
+	// All analysis goes through the tivaware service layer: one
+	// (cached) pass backs the fraction, severities, counts, and the
+	// per-edge detour queries in the worst-edges table.
+	svc, err := tivaware.NewFromMatrix(m, tivaware.Options{SampleThirdNodes: *sample, Seed: *seed})
+	if err != nil {
+		return err
+	}
 	var sev *tiv.EdgeSeverities
 	var counts *tiv.EdgeCounts
 	if *sample == 0 {
 		// Exact mode: one triple-scan pass yields the severities, the
 		// per-edge violation counts for the worst-edges table, and the
 		// exact violating-triangle fraction.
-		an := eng.Analyze(m)
+		an, err := svc.Analysis()
+		if err != nil {
+			return err
+		}
 		sev, counts = an.Severities, an.Counts
 		fmt.Fprintf(stdout, "violating triangle fraction: %.3f (exact: %d of %d)\n",
 			an.ViolatingTriangleFraction(), an.ViolatingTriangles, an.Triangles)
 	} else {
-		frac := eng.ViolatingTriangleFraction(m, 200000)
+		frac := svc.ViolatingTriangleFraction(200000)
 		fmt.Fprintf(stdout, "violating triangle fraction: %.3f\n", frac)
-		sev = eng.AllSeverities(m)
+		sev = svc.Severities()
 	}
 	vals := sev.Values()
 	fmt.Fprintf(stdout, "severity: %s\n\n", stats.Summarize(vals))
@@ -131,20 +142,27 @@ func run(args []string, stdout io.Writer) error {
 
 	if *worst > 0 {
 		fmt.Fprintf(stdout, "\nworst %d edges by severity:\n", *worst)
-		fmt.Fprintln(stdout, "i\tj\tdelay_ms\tseverity\tviolations")
-		edges := sev.WorstEdges(1.0)
-		if len(edges) > *worst {
-			edges = edges[:*worst]
-		}
-		for _, e := range edges {
+		fmt.Fprintln(stdout, "i\tj\tdelay_ms\tseverity\tviolations\tdetour_via\tdetour_ms\tgain_ms")
+		ctx := context.Background()
+		for _, e := range sev.TopEdges(*worst) {
 			count := 0
 			if counts != nil {
 				count = counts.At(e.I, e.J)
 			} else {
 				count = tiv.ViolationCount(m, e.I, e.J)
 			}
-			fmt.Fprintf(stdout, "%d\t%d\t%.1f\t%.4f\t%d\n",
-				e.I, e.J, m.At(e.I, e.J), e.Delay, count)
+			det, err := svc.DetourPath(ctx, e.I, e.J)
+			if err != nil {
+				return err
+			}
+			via, detms, gain := "-", "-", "-"
+			if det.Beneficial() {
+				via = fmt.Sprintf("%d", det.Via)
+				detms = fmt.Sprintf("%.1f", det.ViaDelay)
+				gain = fmt.Sprintf("%.1f", det.Gain)
+			}
+			fmt.Fprintf(stdout, "%d\t%d\t%.1f\t%.4f\t%d\t%s\t%s\t%s\n",
+				e.I, e.J, m.At(e.I, e.J), e.Delay, count, via, detms, gain)
 		}
 	}
 	return nil

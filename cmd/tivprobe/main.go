@@ -15,8 +15,9 @@
 //	tivprobe -mesh 16 -out matrix.csv
 //
 // With -watch, the mesh keeps re-measuring and feeds every round of
-// live probes into an incremental tiv.Monitor, reporting the violating
-// triangle fraction and the worst TIV edges as they move:
+// live probes into a live tivaware service (incremental monitoring),
+// reporting the violating triangle fraction and the worst TIV edges
+// as they move:
 //
 //	tivprobe -mesh 16 -watch 5 -top 3
 package main
@@ -34,6 +35,7 @@ import (
 	"tivaware/internal/delayspace"
 	"tivaware/internal/netprobe"
 	"tivaware/internal/tiv"
+	"tivaware/internal/tivaware"
 )
 
 func main() {
@@ -178,16 +180,20 @@ func runMesh(stdout io.Writer, n int, out string, timeout time.Duration, watch, 
 }
 
 // runWatch keeps re-measuring the mesh and streams each round of live
-// probes into an incremental TIV monitor: the deployment-shaped
-// version of the paper's pitch that systems should detect and react to
-// violations at runtime, not analyze a frozen matrix offline. The
-// final round's measurements stay in m, so the matrix the caller
-// writes out reflects what the monitor last saw.
+// probes into a live tivaware service (an incremental TIV monitor
+// under the hood): the deployment-shaped version of the paper's pitch
+// that systems should detect and react to violations at runtime, not
+// analyze a frozen matrix offline. The final round's measurements stay
+// in m, so the matrix the caller writes out reflects what the service
+// last saw.
 func runWatch(stdout io.Writer, cluster *netprobe.Cluster, m *delayspace.Matrix, rounds, top int) error {
-	mon := tiv.NewMonitor(m, tiv.MonitorOptions{})
-	fmt.Fprintf(stdout, "# monitor baseline: violating triangle fraction %.4f over %d triples\n",
-		mon.ViolatingTriangleFraction(), mon.Triangles())
-	printTopEdges(stdout, mon, top)
+	svc, err := tivaware.NewFromMatrix(m, tivaware.Options{Live: true})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "# monitor baseline: violating triangle fraction %.4f\n",
+		svc.ViolatingTriangleFraction(0))
+	printTopEdges(stdout, svc, m, top)
 	var updates []tiv.Update
 	for round := 1; round <= rounds; round++ {
 		fresh, err := cluster.MeasureMatrix(8)
@@ -199,20 +205,20 @@ func runWatch(stdout io.Writer, cluster *netprobe.Cluster, m *delayspace.Matrix,
 			updates = append(updates, tiv.Update{I: i, J: j, RTT: d})
 			return true
 		})
-		cs, err := mon.ApplyBatch(updates)
+		cs, err := svc.ApplyBatch(updates)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "# watch round %d: %d probes applied, violating fraction %.4f, violated edges +%d/-%d\n",
-			round, len(updates), mon.ViolatingTriangleFraction(), len(cs.NewlyViolated), len(cs.Cleared))
-		printTopEdges(stdout, mon, top)
+			round, len(updates), svc.ViolatingTriangleFraction(0), len(cs.NewlyViolated), len(cs.Cleared))
+		printTopEdges(stdout, svc, m, top)
 	}
 	return nil
 }
 
-func printTopEdges(stdout io.Writer, mon *tiv.Monitor, top int) {
-	for _, e := range mon.TopEdges(top) {
+func printTopEdges(stdout io.Writer, svc *tivaware.Service, m *delayspace.Matrix, top int) {
+	for _, e := range svc.TopEdges(top) {
 		fmt.Fprintf(stdout, "#   top edge %d-%d: severity %.4f, rtt %.3f ms\n",
-			e.I, e.J, e.Delay, mon.Matrix().At(e.I, e.J))
+			e.I, e.J, e.Delay, m.At(e.I, e.J))
 	}
 }

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -11,7 +12,7 @@ import (
 	"tivaware/internal/core"
 	"tivaware/internal/stats"
 	"tivaware/internal/synth"
-	"tivaware/internal/tiv"
+	"tivaware/internal/tivaware"
 	"tivaware/internal/vivaldi"
 )
 
@@ -27,15 +28,42 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// One engine pass yields the exact violating-triangle count and
-	// every edge's severity (§2.1's metric) together.
-	analysis := tiv.NewEngine(tiv.Options{}).Analyze(space.Matrix)
+	// The tivaware service is the application API over the matrix: one
+	// analysis pass (cached until the matrix changes) backs the
+	// violating-triangle count, every edge's severity (§2.1's metric),
+	// severity-aware selection, and detour queries below.
+	svc, err := tivaware.NewFromMatrix(space.Matrix, tivaware.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("delay space: %d nodes, %.0f%% of triangles violate the triangle inequality\n",
-		n, analysis.ViolatingTriangleFraction()*100)
+		n, svc.ViolatingTriangleFraction(0)*100)
 
 	// 2. Ground truth: the TIV severity of every edge.
-	sev := analysis.Severities
+	sev := svc.Severities()
 	fmt.Printf("edge severity: %s\n", stats.Summarize(sev.Values()))
+
+	// 2b. TIV-aware selection and detour exploitation, the service's
+	// two headline queries: rank candidates with a severity penalty so
+	// violated edges are demoted, and route around the worst edge via
+	// its best one-hop detour.
+	ctx := context.Background()
+	best, err := svc.ClosestNode(ctx, 0, tivaware.QueryOptions{SeverityPenalty: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("closest node to 0 (severity-penalized): %d at %.1f ms (severity %.3f, violated=%v)\n",
+		best.Node, best.Delay, best.Severity, best.Violated)
+	if worst := svc.TopEdges(1); len(worst) > 0 {
+		det, err := svc.DetourPath(ctx, worst[0].I, worst[0].J)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if det.Beneficial() {
+			fmt.Printf("worst TIV edge %d-%d: direct %.1f ms, detour via %d %.1f ms (gain %.1f ms)\n",
+				det.I, det.J, det.Direct, det.Via, det.ViaDelay, det.Gain)
+		}
+	}
 
 	// 3. Embed with Vivaldi (5-D Euclidean, 32 neighbors, the paper's
 	//    §4.1 setup) and let it converge for 100 simulated seconds.

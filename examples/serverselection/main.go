@@ -1,17 +1,23 @@
 // Server selection: clients locate the closest server through a
 // Meridian overlay, with and without the paper's TIV alert mechanism
-// (§5.3: ring membership adjustment + query restart).
+// (§5.3: ring membership adjustment + query restart), and through the
+// tivaware service's severity-penalized ranking — the same selection
+// primitive without an overlay.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"math"
 
 	"tivaware/internal/core"
+	"tivaware/internal/delayspace"
 	"tivaware/internal/meridian"
 	"tivaware/internal/nsim"
 	"tivaware/internal/stats"
 	"tivaware/internal/synth"
+	"tivaware/internal/tivaware"
 	"tivaware/internal/vivaldi"
 )
 
@@ -29,12 +35,16 @@ func main() {
 	servers, clients := core.SplitNodes(n, n/2, 5)
 
 	// A Vivaldi embedding supplies prediction ratios for the alerts.
+	// Exposed once as a tivaware.DelaySource, it feeds both Meridian's
+	// TIV-aware extensions (PredictFunc is the source's Delay method)
+	// and the service-layer ranking below.
 	emb, err := vivaldi.NewSystem(space.Matrix, vivaldi.Config{Seed: 11})
 	if err != nil {
 		log.Fatal(err)
 	}
 	emb.Run(100)
-	predict := core.SnapshotPredict(emb.Snapshot())
+	vsrc := tivaware.FromPredictor(emb, n)
+	predict := meridian.PredictFunc(vsrc.Delay)
 
 	type variant struct {
 		name  string
@@ -74,4 +84,56 @@ func main() {
 		fmt.Printf("%s  optimal %3d/%d  median penalty %5.1f%%  p90 %6.1f%%  probes %d\n",
 			v.name, optimal, len(run.Penalties), s.Median, s.P90, run.QueryProbes)
 	}
+
+	// The same selection primitive through the tivaware service: rank
+	// the servers for each client on the Vivaldi-predicted delays while
+	// the severity penalty — computed from the measured matrix via
+	// AnalysisSource — demotes servers behind TIV-violated edges.
+	svc, err := tivaware.New(vsrc, tivaware.Options{
+		AnalysisSource: tivaware.MatrixSource(space.Matrix),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, penalty := range []float64{0, 2} {
+		pens, err := servicePenalties(ctx, svc, space.Matrix, servers, clients, penalty)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := stats.Summarize(pens)
+		fmt.Printf("tivaware.Rank penalty=%.0f    median penalty %5.1f%%  p90 %6.1f%%  (%d clients)\n",
+			penalty, s.Median, s.P90, len(pens))
+	}
+}
+
+// servicePenalties evaluates severity-penalized ClosestNode selection
+// against the true delays: the percentage penalty of the selected
+// server vs the optimal one, per client.
+func servicePenalties(ctx context.Context, svc *tivaware.Service, m *delayspace.Matrix, servers, clients []int, penalty float64) ([]float64, error) {
+	out := make([]float64, 0, len(clients))
+	for _, c := range clients {
+		sel, err := svc.ClosestNode(ctx, c, tivaware.QueryOptions{
+			Candidates:      servers,
+			SeverityPenalty: penalty,
+		})
+		if err != nil {
+			continue // no eligible server for this client
+		}
+		optimal := math.Inf(1)
+		for _, srv := range servers {
+			if srv == c || !m.Has(c, srv) {
+				continue
+			}
+			if d := m.At(c, srv); d < optimal {
+				optimal = d
+			}
+		}
+		actual := m.At(c, sel.Node)
+		if math.IsInf(optimal, 1) || optimal <= 0 || actual == delayspace.Missing {
+			continue
+		}
+		out = append(out, (actual-optimal)*100/optimal)
+	}
+	return out, nil
 }

@@ -15,7 +15,7 @@ import (
 
 	"tivaware/internal/netprobe"
 	"tivaware/internal/stats"
-	"tivaware/internal/tiv"
+	"tivaware/internal/tivaware"
 	"tivaware/internal/vivaldi"
 )
 
@@ -50,8 +50,12 @@ func main() {
 	})
 	fmt.Printf("loopback RTTs (ms): %s\n", stats.Summarize(rtts))
 
-	// TIV analysis on live measurements.
-	frac := tiv.ViolatingTriangleFraction(m, 0, 1)
+	// TIV analysis on live measurements, through the service layer.
+	svc, err := tivaware.NewFromMatrix(m, tivaware.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	frac := svc.ViolatingTriangleFraction(0)
 	fmt.Printf("violating triangle fraction: %.3f (loopback jitter can create small TIVs)\n", frac)
 
 	// Embed the measured matrix.

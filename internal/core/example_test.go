@@ -14,7 +14,7 @@ import (
 // severities.
 func ExampleEvaluateAlert() {
 	space, _ := synth.Generate(synth.DS2Like(150, 42))
-	sev := tiv.NewEngine(tiv.Options{Workers: 1}).AllSeverities(space.Matrix)
+	sev := tiv.AllSeverities(space.Matrix, tiv.Options{Workers: 1})
 
 	sys, _ := vivaldi.NewSystem(space.Matrix, vivaldi.Config{Seed: 7})
 	sys.Run(100)
@@ -33,7 +33,7 @@ func ExampleEvaluateAlert() {
 // most-shrunk (TIV-suspect) neighbor edges and re-converges.
 func ExampleRunDynamicNeighbor() {
 	space, _ := synth.Generate(synth.DS2Like(120, 9))
-	sev := tiv.NewEngine(tiv.Options{Workers: 1}).AllSeverities(space.Matrix)
+	sev := tiv.AllSeverities(space.Matrix, tiv.Options{Workers: 1})
 
 	snaps, _, _ := core.RunDynamicNeighbor(space.Matrix,
 		vivaldi.Config{Seed: 3, Neighbors: 16},

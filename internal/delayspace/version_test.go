@@ -73,3 +73,28 @@ func TestOnChangeMultipleHooks(t *testing.T) {
 		t.Errorf("hooks fired (%d, %d) times, want (1, 1)", a, b)
 	}
 }
+
+// TestOnChangeAppendsNotReplaces is the regression test for the
+// last-writer-wins hazard: registering a second subscriber must never
+// silence the first, every subscriber sees every mutation exactly
+// once, and hooks run in registration order — the contract that lets a
+// tivaware.Service and any other observer watch one matrix together.
+func TestOnChangeAppendsNotReplaces(t *testing.T) {
+	m := New(4)
+	var order []string
+	for _, name := range []string{"first", "second", "third"} {
+		name := name
+		m.OnChange(func(int, int, float64, float64) { order = append(order, name) })
+	}
+	m.Set(0, 1, 9)
+	m.Set(2, 3, 4)
+	want := []string{"first", "second", "third", "first", "second", "third"}
+	if len(order) != len(want) {
+		t.Fatalf("hooks fired %d times, want %d: %v", len(order), len(want), order)
+	}
+	for k := range want {
+		if order[k] != want[k] {
+			t.Fatalf("firing order %v, want %v", order, want)
+		}
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"tivaware/internal/meridian"
 	"tivaware/internal/stats"
 	"tivaware/internal/synth"
-	"tivaware/internal/tiv"
 	"tivaware/internal/vivaldi"
 )
 
@@ -116,7 +115,7 @@ func AblateSeveritySampling(cfg Config) (Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	exact := tiv.NewEngine(tiv.Options{Workers: cfg.Workers}).AllSeverities(sp.Matrix)
+	exact := cfg.severities(sp.Matrix)
 	r := &TableResult{meta: meta{id: "ablate-sampling", title: "Severity estimator: exact vs third-node sampling"}}
 	r.Columns = []string{"estimator", "mean_severity", "mean_abs_diff_vs_exact"}
 	exactVals := exact.Values()
@@ -125,7 +124,7 @@ func AblateSeveritySampling(cfg Config) (Result, error) {
 		if b >= sp.Matrix.N() {
 			continue
 		}
-		sampled := tiv.NewEngine(tiv.Options{Workers: cfg.Workers, SampleThirdNodes: b, Seed: cfg.Seed}).AllSeverities(sp.Matrix)
+		sampled := cfg.sampledSeverities(sp.Matrix, b)
 		sv := sampled.Values()
 		var diff float64
 		for k := range exactVals {
@@ -181,10 +180,10 @@ func AblateGenerator(cfg Config) (Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		eng := tiv.NewEngine(tiv.Options{Workers: cfg.Workers, Seed: cfg.Seed})
-		sev := eng.AllSeverities(sp.Matrix)
+		svc := cfg.service(sp.Matrix)
+		sev := svc.Severities()
 		vals := sev.Values()
-		frac := eng.ViolatingTriangleFraction(sp.Matrix, 100000)
+		frac := svc.ViolatingTriangleFraction(100000)
 		cdf := stats.NewCDF(vals)
 		r.Rows = append(r.Rows, []string{
 			presetTitles[preset],

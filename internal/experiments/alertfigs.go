@@ -15,7 +15,7 @@ func alertInputs(cfg Config) (*tiv.EdgeSeverities, []core.EdgeRatio, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	sev := cfg.engine().AllSeverities(sp.Matrix)
+	sev := cfg.severities(sp.Matrix)
 	sys, err := cfg.convergedVivaldi(sp.Matrix, 61)
 	if err != nil {
 		return nil, nil, err

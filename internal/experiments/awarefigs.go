@@ -21,7 +21,7 @@ func runDynamic(cfg Config) (*tiv.EdgeSeverities, []core.DynamicNeighborSnapshot
 	if err != nil {
 		return nil, nil, err
 	}
-	sev := cfg.engine().AllSeverities(sp.Matrix)
+	sev := cfg.severities(sp.Matrix)
 	snaps, _, err := core.RunDynamicNeighbor(sp.Matrix,
 		vivaldi.Config{Seed: cfg.Seed + 71},
 		core.DynamicNeighborConfig{

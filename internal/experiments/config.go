@@ -18,6 +18,7 @@ import (
 	"tivaware/internal/delayspace"
 	"tivaware/internal/synth"
 	"tivaware/internal/tiv"
+	"tivaware/internal/tivaware"
 	"tivaware/internal/vivaldi"
 )
 
@@ -97,17 +98,41 @@ func scaled(n, num, den int) int {
 	return s
 }
 
-// engine returns a TIV severity engine configured for this run. Every
-// experiment computes severities and violation statistics through it;
-// an engine reused across calls also reuses its scratch buffers.
-func (c Config) engine() *tiv.Engine {
-	return c.engineSeeded(c.Seed)
+// service wraps a delay matrix in a tivaware.Service configured for
+// this run. Every experiment computes severities and violation
+// statistics through the service layer — the same application API the
+// examples and CLIs consume — rather than constructing engines
+// directly.
+func (c Config) service(m *delayspace.Matrix) *tivaware.Service {
+	return c.serviceSeeded(m, c.Seed)
 }
 
-// engineSeeded is engine with an explicit sampling seed, for
+// serviceSeeded is service with an explicit sampling seed, for
 // experiments that decorrelate several sampled analyses in one run.
-func (c Config) engineSeeded(seed int64) *tiv.Engine {
-	return tiv.NewEngine(tiv.Options{Workers: c.Workers, Seed: seed})
+func (c Config) serviceSeeded(m *delayspace.Matrix, seed int64) *tivaware.Service {
+	svc, err := tivaware.NewFromMatrix(m, tivaware.Options{Workers: c.Workers, Seed: seed})
+	if err != nil {
+		// The options are fixed and valid; a failure here is a bug.
+		panic(fmt.Sprintf("experiments: building service: %v", err))
+	}
+	return svc
+}
+
+// severities computes every edge's exact TIV severity through the
+// service layer.
+func (c Config) severities(m *delayspace.Matrix) *tiv.EdgeSeverities {
+	return c.service(m).Severities()
+}
+
+// sampledSeverities estimates severities from b random third nodes.
+func (c Config) sampledSeverities(m *delayspace.Matrix, b int) *tiv.EdgeSeverities {
+	svc, err := tivaware.NewFromMatrix(m, tivaware.Options{
+		Workers: c.Workers, SampleThirdNodes: b, Seed: c.Seed,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: building sampled service: %v", err))
+	}
+	return svc.Severities()
 }
 
 // space generates the synthetic stand-in for one of the paper's data

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"tivaware/internal/stats"
+	"tivaware/internal/synth"
+)
+
+// maxDetourPairs caps how many measured edges per data set the detour
+// experiment probes: DetourPath is O(N) per pair, so the full edge set
+// would cost O(N³) with interface-call overhead on top. A seeded
+// uniform sample keeps the distributions stable and the run fast.
+const maxDetourPairs = 4000
+
+// DetourGain quantifies the exploitation side of TIV-awareness the
+// paper argues for: whenever a triangle inequality violation makes the
+// direct edge A–B longer than A–C–B, a one-hop detour through the
+// witness C is strictly faster than the direct path. For each
+// synthetic stand-in data set, the experiment runs
+// tivaware.Service.DetourPath over a sample of measured edges and
+// reports how many admit a beneficial detour, the absolute and
+// relative latency gains, and a consistency check that every reported
+// detour is strictly faster than its direct edge — on a TIV-rich
+// matrix the best detours recover hundreds of milliseconds.
+func DetourGain(cfg Config) (Result, error) {
+	r := &TableResult{meta: meta{
+		id:    "detour",
+		title: "One-hop TIV detours vs direct paths (tivaware.Service.DetourPath)",
+	}}
+	r.Columns = []string{"data_set", "pairs_probed", "beneficial_frac", "median_gain_ms", "p90_gain_ms", "max_gain_ms", "median_gain_pct"}
+	ctx := context.Background()
+	for _, preset := range synth.PresetNames {
+		sp, err := cfg.space(preset)
+		if err != nil {
+			return nil, err
+		}
+		svc := cfg.service(sp.Matrix)
+		edges := sp.Matrix.Edges()
+		if len(edges) > maxDetourPairs {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(len(preset))))
+			rng.Shuffle(len(edges), func(a, b int) { edges[a], edges[b] = edges[b], edges[a] })
+			edges = edges[:maxDetourPairs]
+		}
+		var gains, gainPcts []float64
+		for _, e := range edges {
+			det, err := svc.DetourPath(ctx, e.I, e.J)
+			if err != nil {
+				return nil, err
+			}
+			if !det.Beneficial() {
+				continue
+			}
+			// The acceptance invariant: a beneficial detour is strictly
+			// faster than the measured direct edge.
+			if det.ViaDelay >= e.Delay || det.Direct != e.Delay {
+				return nil, fmt.Errorf("experiments: detour %d-%d via %d not strictly faster (%.3f vs direct %.3f)",
+					e.I, e.J, det.Via, det.ViaDelay, det.Direct)
+			}
+			gains = append(gains, det.Gain)
+			gainPcts = append(gainPcts, det.Gain*100/e.Delay)
+		}
+		if preset == "ds2" && len(gains) == 0 {
+			return nil, fmt.Errorf("experiments: no beneficial detour on the TIV-rich %s space (%d pairs probed)", preset, len(edges))
+		}
+		if len(gains) == 0 {
+			r.Rows = append(r.Rows, []string{presetTitles[preset], fmt.Sprintf("%d", len(edges)), "0.000", "-", "-", "-", "-"})
+			continue
+		}
+		g := stats.Summarize(gains)
+		gp := stats.Summarize(gainPcts)
+		r.Rows = append(r.Rows, []string{
+			presetTitles[preset],
+			fmt.Sprintf("%d", len(edges)),
+			fmt.Sprintf("%.3f", float64(len(gains))/float64(len(edges))),
+			fmt.Sprintf("%.1f", g.Median),
+			fmt.Sprintf("%.1f", g.P90),
+			fmt.Sprintf("%.1f", g.Max),
+			fmt.Sprintf("%.1f", gp.Median),
+		})
+		r.addNote("%s: %d/%d sampled pairs beat their direct edge via a one-hop detour (median gain %.1f ms = %.1f%%, max %.1f ms); every reported detour verified strictly faster",
+			presetTitles[preset], len(gains), len(edges), g.Median, gp.Median, g.Max)
+	}
+	return r, nil
+}

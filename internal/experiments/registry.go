@@ -54,6 +54,7 @@ var Specs = []Spec{
 	{"ablate-filter", "Vivaldi under measurement noise: median filter", AblateFilter},
 	{"ablate-generator", "Synthetic data set TIV profiles", AblateGenerator},
 	{"stream-drift", "Streaming monitor: severity drift vs update rate", StreamDrift},
+	{"detour", "One-hop TIV detours vs direct paths", DetourGain},
 }
 
 // Lookup finds an experiment by ID.

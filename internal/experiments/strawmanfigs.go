@@ -112,7 +112,7 @@ func Fig17(cfg Config) (Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	sev := cfg.engine().AllSeverities(sp.Matrix)
+	sev := cfg.severities(sp.Matrix)
 	filter, err := core.NewSeverityFilter(sev, 0.2)
 	if err != nil {
 		return nil, err
@@ -163,7 +163,7 @@ func Fig18(cfg Config) (Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	sev := cfg.engine().AllSeverities(sp.Matrix)
+	sev := cfg.severities(sp.Matrix)
 	filter, err := core.NewSeverityFilter(sev, 0.2)
 	if err != nil {
 		return nil, err

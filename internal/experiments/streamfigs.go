@@ -7,6 +7,7 @@ import (
 	"tivaware/internal/nsim"
 	"tivaware/internal/stats"
 	"tivaware/internal/tiv"
+	"tivaware/internal/tivaware"
 )
 
 // StreamDrift is the streaming-monitor experiment the paper's offline
@@ -60,13 +61,16 @@ func StreamDrift(cfg Config) (Result, error) {
 			return nil, err
 		}
 		var churn int
-		mon := tiv.NewMonitor(m, tiv.MonitorOptions{
-			Workers: cfg.Workers,
-			OnChange: func(cs tiv.ChangeSet) {
-				churn += len(cs.NewlyViolated) + len(cs.Cleared)
-			},
-		})
-		baseMean := meanSeverity(mon.Severities())
+		svc, err := tivaware.NewFromMatrix(m, tivaware.Options{Workers: cfg.Workers, Live: true})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := svc.Subscribe(func(cs tiv.ChangeSet) {
+			churn += len(cs.NewlyViolated) + len(cs.Cleared)
+		}); err != nil {
+			return nil, err
+		}
+		baseMean := meanSeverity(svc.Severities())
 
 		series := make([]float64, 0, windows)
 		var batch []nsim.EdgeUpdate
@@ -77,19 +81,26 @@ func StreamDrift(cfg Config) (Result, error) {
 			for _, u := range batch {
 				updates = append(updates, tiv.Update(u))
 			}
-			if _, err := mon.ApplyBatch(updates); err != nil {
+			if _, err := svc.ApplyBatch(updates); err != nil {
 				return nil, fmt.Errorf("experiments: stream-drift apply: %w", err)
 			}
-			series = append(series, meanSeverity(mon.Severities()))
+			series = append(series, meanSeverity(svc.Severities()))
 		}
 		r.Names = append(r.Names, fmt.Sprintf("rate=%d/window", rate))
 		r.Series = append(r.Series, series)
 
 		// Differential close-out: the incrementally maintained state
 		// must match a fresh batch rescan of the mutated matrix.
-		an := cfg.engine().Analyze(m)
+		live, err := svc.Analysis()
+		if err != nil {
+			return nil, err
+		}
+		an, err := cfg.service(m).Analysis()
+		if err != nil {
+			return nil, err
+		}
 		maxDiff := 0.0
-		sev := mon.Severities()
+		sev := live.Severities
 		for i := 0; i < m.N(); i++ {
 			for j := i + 1; j < m.N(); j++ {
 				if d := math.Abs(sev.At(i, j) - an.Severities.At(i, j)); d > maxDiff {
@@ -97,9 +108,9 @@ func StreamDrift(cfg Config) (Result, error) {
 				}
 			}
 		}
-		if mon.ViolatingTriangles() != an.ViolatingTriangles || maxDiff > 1e-9 {
+		if live.ViolatingTriangles != an.ViolatingTriangles || maxDiff > 1e-9 {
 			return nil, fmt.Errorf("experiments: stream-drift monitor diverged from rescan (max severity diff %g, triangles %d vs %d)",
-				maxDiff, mon.ViolatingTriangles(), an.ViolatingTriangles)
+				maxDiff, live.ViolatingTriangles, an.ViolatingTriangles)
 		}
 		r.addNote("rate %d/window: mean severity %.5f → %.5f over %d windows, violated-set churn %d edges, monitor==rescan (maxΔ %.1e)",
 			rate, baseMean, series[len(series)-1], windows, churn, maxDiff)

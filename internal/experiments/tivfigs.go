@@ -23,13 +23,12 @@ var presetTitles = map[string]string{
 // TIV severity on all four data sets.
 func Fig2(cfg Config) (Result, error) {
 	r := &CDFResult{meta: meta{id: "fig2", title: "Cumulative distribution of TIV severity (4 data sets)"}}
-	eng := cfg.engine() // one engine: scratch buffers carry across the presets
 	for _, preset := range synth.PresetNames {
 		sp, err := cfg.space(preset)
 		if err != nil {
 			return nil, err
 		}
-		sev := eng.AllSeverities(sp.Matrix)
+		sev := cfg.severities(sp.Matrix)
 		r.Names = append(r.Names, fmt.Sprintf("%s-%d", presetTitles[preset], sp.Matrix.N()))
 		r.CDFs = append(r.CDFs, stats.NewCDF(sev.Values()))
 	}
@@ -56,7 +55,10 @@ func Fig3(cfg Config) (Result, error) {
 	// One triple-scan pass yields both the per-edge severities and the
 	// per-edge violation counts the in-text numbers below need; the old
 	// code paid a second full O(N³) sweep for the counts.
-	an := cfg.engine().Analyze(sp.Matrix)
+	an, err := cfg.service(sp.Matrix).Analysis()
+	if err != nil {
+		return nil, err
+	}
 	sev := an.Severities
 	blocks := cl.Blocks(sp.Matrix, func(i, j int) float64 { return sev.At(i, j) })
 
@@ -108,7 +110,7 @@ func severityVsDelay(cfg Config, id, preset string) (Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	sev := cfg.engine().AllSeverities(sp.Matrix)
+	sev := cfg.severities(sp.Matrix)
 	delays, sevs := tiv.DelaySeverityPairs(sp.Matrix, sev)
 	bins := stats.BinSeries(delays, sevs, 10) // 10 ms bins, as in the paper
 	r := &BinsResult{
@@ -197,14 +199,13 @@ func Fig8(cfg Config) (Result, error) {
 // nearest-pair edges vs random-pair edges on all four data sets.
 func Fig9(cfg Config) (Result, error) {
 	r := &CDFResult{meta: meta{id: "fig9", title: "Proximity property of TIVs: |severity difference| CDFs, nearest vs random pair edges"}}
-	eng := cfg.engine()
 	const sampleEdges = 10000 // the paper samples 10,000 edges
 	for _, preset := range synth.PresetNames {
 		sp, err := cfg.space(preset)
 		if err != nil {
 			return nil, err
 		}
-		sev := eng.AllSeverities(sp.Matrix)
+		sev := cfg.severities(sp.Matrix)
 		nearest, random := tiv.PairDifferences(sp.Matrix, sev, sampleEdges, cfg.Seed+7)
 		r.Names = append(r.Names,
 			presetTitles[preset]+"-nearest-pair",
@@ -226,7 +227,7 @@ func Tab1(cfg Config) (Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	frac := cfg.engineSeeded(cfg.Seed+3).ViolatingTriangleFraction(sp.Matrix, 200000)
+	frac := cfg.serviceSeeded(sp.Matrix, cfg.Seed+3).ViolatingTriangleFraction(200000)
 	sys, err := cfg.convergedVivaldi(sp.Matrix, 11)
 	if err != nil {
 		return nil, err

@@ -15,53 +15,62 @@ import (
 	"fmt"
 
 	"tivaware/internal/delayspace"
+	"tivaware/internal/tivaware"
 )
 
-// Predictor estimates the delay between two nodes (vivaldi.System,
-// the dynamic-neighbor snapshots, ides.System and lat.Predictor all
-// satisfy it).
-type Predictor interface {
-	Predict(i, j int) float64
+// Options configures a Tree, following the repository's options-struct
+// convention (DESIGN.md): the zero value is valid and means a tree
+// rooted at node 0, unlimited fan-out, parents selected on true
+// measured delays.
+type Options struct {
+	// Root is the multicast source node.
+	Root int
+	// Fanout caps children per member; joiners pick the closest member
+	// that still has capacity (real multicast systems bound per-node
+	// fan-out by uplink bandwidth). Zero means unlimited.
+	Fanout int
+	// Predict supplies the delay estimates parent selection ranks by —
+	// any tivaware.DelaySource: the true matrix (tivaware.MatrixSource),
+	// a coordinate embedding (tivaware.FromPredictor), or a live
+	// service's source. Nil means the true measured delays of the
+	// tree's matrix.
+	Predict tivaware.DelaySource
 }
 
 // Tree is a multicast tree over nodes of a delay matrix. The zero
 // value is unusable; use NewTree.
 type Tree struct {
 	m      *delayspace.Matrix
-	p      Predictor
+	src    tivaware.DelaySource
 	root   int
 	parent map[int]int
 	kids   map[int][]int
-	// Fanout caps children per member; 0 means unlimited.
 	fanout int
 }
 
-// Option configures a Tree.
-type Option func(*Tree)
-
-// WithFanout caps the number of children per member; joiners pick the
-// closest member that still has capacity (real multicast systems
-// bound per-node fan-out by uplink bandwidth).
-func WithFanout(k int) Option {
-	return func(t *Tree) { t.fanout = k }
-}
-
-// NewTree creates a tree rooted at root (the multicast source).
-func NewTree(m *delayspace.Matrix, p Predictor, root int, opts ...Option) (*Tree, error) {
-	if root < 0 || root >= m.N() {
-		return nil, fmt.Errorf("overlay: root %d out of range [0,%d)", root, m.N())
+// NewTree creates a multicast tree over m rooted at opts.Root.
+func NewTree(m *delayspace.Matrix, opts Options) (*Tree, error) {
+	if opts.Root < 0 || opts.Root >= m.N() {
+		return nil, fmt.Errorf("overlay: root %d out of range [0,%d)", opts.Root, m.N())
 	}
-	t := &Tree{
+	if opts.Fanout < 0 {
+		return nil, fmt.Errorf("overlay: negative fanout %d", opts.Fanout)
+	}
+	src := opts.Predict
+	if src == nil {
+		src = tivaware.MatrixSource(m)
+	}
+	if src.N() != m.N() {
+		return nil, fmt.Errorf("overlay: predictor covers %d nodes, matrix has %d", src.N(), m.N())
+	}
+	return &Tree{
 		m:      m,
-		p:      p,
-		root:   root,
-		parent: map[int]int{root: -1},
+		src:    src,
+		root:   opts.Root,
+		parent: map[int]int{opts.Root: -1},
 		kids:   map[int][]int{},
-	}
-	for _, o := range opts {
-		o(t)
-	}
-	return t, nil
+		fanout: opts.Fanout,
+	}, nil
 }
 
 // Root returns the tree root.
@@ -106,7 +115,10 @@ func (t *Tree) Join(n int) (parent int, err error) {
 		if t.fanout > 0 && len(t.kids[member]) >= t.fanout {
 			continue
 		}
-		pred := t.p.Predict(n, member)
+		pred, ok := t.src.Delay(n, member)
+		if !ok {
+			continue
+		}
 		if best == -1 || pred < bestPred || (pred == bestPred && member < best) {
 			best, bestPred = member, pred
 		}

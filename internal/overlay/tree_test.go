@@ -7,18 +7,9 @@ import (
 	"tivaware/internal/delayspace"
 	"tivaware/internal/stats"
 	"tivaware/internal/synth"
+	"tivaware/internal/tivaware"
 	"tivaware/internal/vivaldi"
 )
-
-// oracle predicts true delays.
-type oracle struct{ m *delayspace.Matrix }
-
-func (o oracle) Predict(i, j int) float64 {
-	if i == j {
-		return 0
-	}
-	return o.m.At(i, j)
-}
 
 func lineMatrix(n int) *delayspace.Matrix {
 	m := delayspace.New(n)
@@ -32,14 +23,32 @@ func lineMatrix(n int) *delayspace.Matrix {
 
 func TestNewTreeValidation(t *testing.T) {
 	m := lineMatrix(4)
-	if _, err := NewTree(m, oracle{m}, 9); err == nil {
+	if _, err := NewTree(m, Options{Root: 9}); err == nil {
 		t.Error("bad root should error")
+	}
+	if _, err := NewTree(m, Options{Root: -1}); err == nil {
+		t.Error("negative root should error")
+	}
+	if _, err := NewTree(m, Options{Fanout: -1}); err == nil {
+		t.Error("negative fanout should error")
+	}
+	if _, err := NewTree(m, Options{Predict: tivaware.MatrixSource(lineMatrix(3))}); err == nil {
+		t.Error("predictor size mismatch should error")
+	}
+	// The zero value is valid: rooted at 0, unlimited fan-out, parents
+	// selected on true measured delays.
+	tr, err := NewTree(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root() != 0 {
+		t.Errorf("default root = %d", tr.Root())
 	}
 }
 
 func TestJoinPicksClosest(t *testing.T) {
 	m := lineMatrix(5)
-	tr, err := NewTree(m, oracle{m}, 0)
+	tr, err := NewTree(m, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +75,7 @@ func TestJoinPicksClosest(t *testing.T) {
 
 func TestJoinErrors(t *testing.T) {
 	m := lineMatrix(3)
-	tr, _ := NewTree(m, oracle{m}, 0)
+	tr, _ := NewTree(m, Options{})
 	if _, err := tr.Join(0); err == nil {
 		t.Error("joining the root again should error")
 	}
@@ -76,7 +85,7 @@ func TestJoinErrors(t *testing.T) {
 	// No measured pair: isolated node.
 	holey := delayspace.New(3)
 	holey.Set(0, 1, 5)
-	tr2, _ := NewTree(holey, oracle{holey}, 0)
+	tr2, _ := NewTree(holey, Options{})
 	if _, err := tr2.Join(2); err == nil {
 		t.Error("node without measured pairs should fail to join")
 	}
@@ -92,7 +101,7 @@ func TestFanoutCap(t *testing.T) {
 	m.Set(1, 2, 30)
 	m.Set(1, 3, 31)
 	m.Set(2, 3, 32)
-	tr, _ := NewTree(m, oracle{m}, 0, WithFanout(1))
+	tr, _ := NewTree(m, Options{Fanout: 1})
 	for n := 1; n < 4; n++ {
 		if _, err := tr.Join(n); err != nil {
 			t.Fatal(err)
@@ -105,7 +114,7 @@ func TestFanoutCap(t *testing.T) {
 
 func TestLeaveAndRejoin(t *testing.T) {
 	m := lineMatrix(4)
-	tr, _ := NewTree(m, oracle{m}, 0)
+	tr, _ := NewTree(m, Options{})
 	for n := 1; n < 4; n++ {
 		if _, err := tr.Join(n); err != nil {
 			t.Fatal(err)
@@ -137,7 +146,7 @@ func TestLeaveAndRejoin(t *testing.T) {
 
 func TestPathAndLinkDelay(t *testing.T) {
 	m := lineMatrix(4)
-	tr, _ := NewTree(m, oracle{m}, 0)
+	tr, _ := NewTree(m, Options{})
 	for n := 1; n < 4; n++ {
 		if _, err := tr.Join(n); err != nil {
 			t.Fatal(err)
@@ -159,7 +168,7 @@ func TestPathAndLinkDelay(t *testing.T) {
 
 func TestEvaluate(t *testing.T) {
 	m := lineMatrix(4)
-	tr, _ := NewTree(m, oracle{m}, 0)
+	tr, _ := NewTree(m, Options{})
 	for n := 1; n < 4; n++ {
 		if _, err := tr.Join(n); err != nil {
 			t.Fatal(err)
@@ -197,8 +206,8 @@ func TestTIVAwareTreesBeatPlainVivaldi(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	build := func(p Predictor) Quality {
-		tr, err := NewTree(space.Matrix, p, 0)
+	build := func(p tivaware.Predictor) Quality {
+		tr, err := NewTree(space.Matrix, Options{Predict: tivaware.FromPredictor(p, space.Matrix.N())})
 		if err != nil {
 			t.Fatal(err)
 		}

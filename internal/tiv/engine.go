@@ -163,6 +163,33 @@ func (e *Engine) Analyze(m *delayspace.Matrix) Analysis {
 	}
 }
 
+// AnalyzeInto is Analyze reusing dst's result storage, for
+// steady-state callers (e.g. the tivaware service layer) that
+// re-analyze on data changes without reallocating O(N²) results. It
+// returns the refreshed analysis; dst's Severities/Counts pointers are
+// reused when present and correctly sized.
+func (e *Engine) AnalyzeInto(dst Analysis, m *delayspace.Matrix) Analysis {
+	n := m.N()
+	if dst.Severities == nil {
+		dst.Severities = &EdgeSeverities{}
+	}
+	if dst.Counts == nil {
+		dst.Counts = &EdgeCounts{}
+	}
+	dst.Severities.n = n
+	dst.Severities.data = ensureFloats(dst.Severities.data, n*n)
+	dst.Counts.n = n
+	dst.Counts.data = ensureInts(dst.Counts.data, n*n)
+	dst.ViolatingTriangles = 0
+	dst.Triangles = totalTriples(n)
+	if n >= 3 {
+		dst.ViolatingTriangles = e.scanAll(m, dst.Severities.data, dst.Counts.data, nil)
+		finishSeverities(dst.Severities.data, n)
+		mirrorCounts(dst.Counts.data, n)
+	}
+	return dst
+}
+
 // ViolatingTriangleFraction returns the fraction of node triples that
 // violate the triangle inequality. When the number of triples is
 // within maxTriples (or maxTriples <= 0) the count is exact, via the

@@ -56,6 +56,10 @@ type Monitor struct {
 	flipIdx []int
 	flipWas []bool
 
+	// hooks are OnChange subscribers registered after construction, in
+	// addition to (and notified after) MonitorOptions.OnChange.
+	hooks []func(ChangeSet)
+
 	// Update journal: a ring of the most recent mutations.
 	journal []JournalEntry
 	jStart  int
@@ -341,9 +345,26 @@ func (mon *Monitor) diffChangeSet(rescan bool) ChangeSet {
 }
 
 func (mon *Monitor) notify(cs ChangeSet) {
-	if mon.opts.OnChange != nil && (!cs.Empty() || cs.Rescan) {
+	if cs.Empty() && !cs.Rescan {
+		return
+	}
+	if mon.opts.OnChange != nil {
 		mon.opts.OnChange(cs)
 	}
+	for _, fn := range mon.hooks {
+		fn(cs)
+	}
+}
+
+// OnChange registers an additional change subscriber alongside any
+// MonitorOptions.OnChange hook: every registered function runs
+// synchronously after each mutation whose ChangeSet is non-empty (and
+// after every rescan). Subscribers must not mutate the monitor or its
+// matrix. Hooks cannot be unregistered; callers multiplexing dynamic
+// subscriber sets (e.g. tivaware.Service.Subscribe) register one hook
+// that fans out.
+func (mon *Monitor) OnChange(fn func(ChangeSet)) {
+	mon.hooks = append(mon.hooks, fn)
 }
 
 // beginApply opens a flip-tracking window: edges touched by the coming

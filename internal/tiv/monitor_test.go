@@ -249,6 +249,40 @@ func TestMonitorChangeSets(t *testing.T) {
 	}
 }
 
+// TestMonitorOnChangeSubscribers pins the multi-subscriber contract:
+// OnChange registrations append alongside MonitorOptions.OnChange
+// (options hook first, then registration order), so a second observer
+// never silences the first.
+func TestMonitorOnChangeSubscribers(t *testing.T) {
+	m := delayspace.New(3)
+	m.Set(0, 1, 5)
+	m.Set(1, 2, 5)
+	m.Set(2, 0, 100)
+	var order []string
+	mon := NewMonitor(m, MonitorOptions{OnChange: func(ChangeSet) { order = append(order, "opts") }})
+	mon.OnChange(func(ChangeSet) { order = append(order, "subA") })
+	mon.OnChange(func(ChangeSet) { order = append(order, "subB") })
+	if _, err := mon.ApplyUpdate(2, 0, 9); err != nil { // clears the violation
+		t.Fatal(err)
+	}
+	want := []string{"opts", "subA", "subB"}
+	if len(order) != len(want) {
+		t.Fatalf("subscribers fired %d times, want %d: %v", len(order), len(want), order)
+	}
+	for k := range want {
+		if order[k] != want[k] {
+			t.Fatalf("firing order %v, want %v", order, want)
+		}
+	}
+	// No-flip updates stay silent for every subscriber.
+	if _, err := mon.ApplyUpdate(2, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != len(want) {
+		t.Errorf("no-flip update notified subscribers: %v", order)
+	}
+}
+
 // TestMonitorBatchFallback forces the dirty-fraction rescan path and
 // checks it produces the same state and journals the fallback.
 func TestMonitorBatchFallback(t *testing.T) {

@@ -153,15 +153,29 @@ func (e *EdgeSeverities) WorstEdges(frac float64) []delayspace.Edge {
 	if frac <= 0 || frac > 1 {
 		panic(fmt.Sprintf("tiv: WorstEdges fraction %g outside (0,1]", frac))
 	}
-	edges := make([]delayspace.Edge, 0, e.n*(e.n-1)/2)
+	numEdges := e.n * (e.n - 1) / 2
+	k := int(float64(numEdges) * frac)
+	if k == 0 && numEdges > 0 {
+		k = 1
+	}
+	return e.TopEdges(k)
+}
+
+// TopEdges returns the k edges with the highest severity, most severe
+// first (fewer when the matrix has fewer edges, nil when k <= 0).
+func (e *EdgeSeverities) TopEdges(k int) []delayspace.Edge {
+	numEdges := e.n * (e.n - 1) / 2
+	if k <= 0 || numEdges == 0 {
+		return nil
+	}
+	if k > numEdges {
+		k = numEdges
+	}
+	edges := make([]delayspace.Edge, 0, numEdges)
 	for i := 0; i < e.n; i++ {
 		for j := i + 1; j < e.n; j++ {
 			edges = append(edges, delayspace.Edge{I: i, J: j, Delay: e.At(i, j)})
 		}
-	}
-	k := int(float64(len(edges)) * frac)
-	if k == 0 && len(edges) > 0 {
-		k = 1
 	}
 	return selectTopEdges(edges, k)
 }

@@ -1,0 +1,247 @@
+package tivaware
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"tivaware/internal/delayspace"
+	"tivaware/internal/tiv"
+)
+
+// QueryOptions tunes one selection query. The zero value ranks purely
+// by source delay, the TIV-oblivious baseline.
+type QueryOptions struct {
+	// Candidates restricts the nodes considered; nil means every node
+	// except the target. Out-of-range or duplicate candidates error.
+	Candidates []int
+	// SeverityPenalty weights each candidate's edge severity into its
+	// score: score = delay × (1 + SeverityPenalty × severity). Severity
+	// is the paper's §2.1 metric for the target-candidate edge, so a
+	// positive penalty demotes candidates whose edge is involved in
+	// many/bad violations — the edges coordinate systems mispredict
+	// worst. Zero ranks by delay alone.
+	SeverityPenalty float64
+	// ExcludeViolated drops candidates whose edge to the target
+	// currently violates the triangle inequality (Selection.Violated),
+	// the hard-filter variant of the penalty.
+	ExcludeViolated bool
+}
+
+// Selection is one ranked candidate.
+type Selection struct {
+	// Node is the candidate's id.
+	Node int
+	// Delay is the source's delay estimate to the target.
+	Delay float64
+	// Severity is the TIV severity of the target-candidate edge.
+	Severity float64
+	// Violated reports that the edge is currently involved in at least
+	// one triangle inequality violation. In sampled-severity mode it
+	// derives from Severity > 0; otherwise from exact violation counts.
+	Violated bool
+	// Violations is the exact violation count of the edge, or -1 in
+	// sampled-severity mode.
+	Violations int
+	// Score is the ranking key: Delay × (1 + SeverityPenalty×Severity).
+	Score float64
+}
+
+// Rank scores the given candidates for the target and returns them
+// best (lowest score) first. Candidates without a delay estimate to
+// the target are skipped; ties break by node id for determinism.
+func (s *Service) Rank(ctx context.Context, target int, candidates []int, opts QueryOptions) ([]Selection, error) {
+	if err := checkCtx(ctx); err != nil {
+		return nil, err
+	}
+	if err := s.checkNode("target", target); err != nil {
+		return nil, err
+	}
+	if candidates == nil {
+		candidates = opts.Candidates
+	}
+	seen := make(map[int]bool, len(candidates))
+	for _, c := range candidates {
+		if err := s.checkNode("candidate", c); err != nil {
+			return nil, err
+		}
+		if seen[c] {
+			return nil, fmt.Errorf("tivaware: duplicate candidate %d", c)
+		}
+		seen[c] = true
+	}
+	if candidates == nil {
+		all := make([]int, 0, s.N()-1)
+		for c := 0; c < s.N(); c++ {
+			if c != target {
+				all = append(all, c)
+			}
+		}
+		candidates = all
+	}
+
+	// In exact mode the full analysis supplies both severities and
+	// counts from one (cached) pass; only sampled mode takes the
+	// severities-only estimator.
+	sampled := s.mon == nil && s.opts.SampleThirdNodes > 0
+	var sev *tiv.EdgeSeverities
+	var counts interface{ At(i, j int) int }
+	if sampled {
+		sev = s.severities()
+	} else {
+		a, err := s.full()
+		if err != nil {
+			return nil, err
+		}
+		sev = a.Severities
+		counts = a.Counts
+	}
+
+	out := make([]Selection, 0, len(candidates))
+	for k, c := range candidates {
+		if k&1023 == 0 {
+			if err := checkCtx(ctx); err != nil {
+				return nil, err
+			}
+		}
+		if c == target {
+			continue
+		}
+		d, ok := s.src.Delay(target, c)
+		if !ok {
+			continue
+		}
+		sel := Selection{Node: c, Delay: d, Severity: sev.At(target, c), Violations: -1}
+		if sampled {
+			sel.Violated = sel.Severity > 0
+		} else {
+			sel.Violations = counts.At(target, c)
+			sel.Violated = sel.Violations > 0
+		}
+		if opts.ExcludeViolated && sel.Violated {
+			continue
+		}
+		sel.Score = d * (1 + opts.SeverityPenalty*sel.Severity)
+		out = append(out, sel)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score < out[b].Score
+		}
+		return out[a].Node < out[b].Node
+	})
+	return out, nil
+}
+
+// KClosest returns the k best-ranked candidates for the target (all
+// nodes when opts.Candidates is nil), fewer when fewer qualify.
+func (s *Service) KClosest(ctx context.Context, target, k int, opts QueryOptions) ([]Selection, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("tivaware: KClosest k = %d, want > 0", k)
+	}
+	ranked, err := s.Rank(ctx, target, opts.Candidates, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	return ranked, nil
+}
+
+// ClosestNode returns the best-ranked candidate for the target. It
+// errors when no candidate has a delay estimate (or all are excluded).
+func (s *Service) ClosestNode(ctx context.Context, target int, opts QueryOptions) (Selection, error) {
+	ranked, err := s.KClosest(ctx, target, 1, opts)
+	if err != nil {
+		return Selection{}, err
+	}
+	if len(ranked) == 0 {
+		return Selection{}, fmt.Errorf("tivaware: no eligible candidate for node %d", target)
+	}
+	return ranked[0], nil
+}
+
+// Detour is the result of a DetourPath query for the pair (I, J).
+type Detour struct {
+	I, J int
+	// Direct is the source's direct delay estimate, or
+	// delayspace.Missing when the pair has none.
+	Direct float64
+	// Via is the relay of the best one-hop detour i→via→j, or -1 when
+	// no relay improves on the direct edge (for a missing direct edge,
+	// the best relay — if any exists — is always reported: it is the
+	// only route).
+	Via int
+	// ViaDelay is Delay(i,Via) + Delay(Via,j); 0 when Via < 0.
+	ViaDelay float64
+	// Gain is Direct − ViaDelay when both paths exist — the latency
+	// saved by detouring, strictly positive exactly when the relay
+	// witnesses a TIV of the direct edge — and 0 otherwise. Never
+	// negative.
+	Gain float64
+}
+
+// Beneficial reports whether the detour is strictly faster than the
+// measured direct edge.
+func (d Detour) Beneficial() bool { return d.Via >= 0 && d.Gain > 0 }
+
+// DetourPath finds the best one-hop detour for the pair (i, j): the
+// relay k minimizing Delay(i,k) + Delay(k,j). This is the paper's
+// "exploit TIVs" primitive — whenever edge (i, j) is violated by some
+// witness k, routing through k is strictly faster than the direct
+// edge, and DetourPath returns the best such shortcut with its gain.
+// When the direct edge beats every relay, Via is -1 and Gain is 0;
+// when the direct edge is unmeasured, the best relay route (if one
+// exists) is returned with Gain 0.
+func (s *Service) DetourPath(ctx context.Context, i, j int) (Detour, error) {
+	if err := checkCtx(ctx); err != nil {
+		return Detour{}, err
+	}
+	if err := s.checkNode("node", i); err != nil {
+		return Detour{}, err
+	}
+	if err := s.checkNode("node", j); err != nil {
+		return Detour{}, err
+	}
+	if i == j {
+		return Detour{}, fmt.Errorf("tivaware: DetourPath on diagonal (%d,%d)", i, j)
+	}
+	d := Detour{I: i, J: j, Via: -1, Direct: delayspace.Missing}
+	direct, hasDirect := s.src.Delay(i, j)
+	if hasDirect {
+		d.Direct = direct
+	}
+	best := math.Inf(1)
+	bestVia := -1
+	for k := 0; k < s.src.N(); k++ {
+		if k == i || k == j {
+			continue
+		}
+		dik, ok := s.src.Delay(i, k)
+		if !ok {
+			continue
+		}
+		dkj, ok := s.src.Delay(k, j)
+		if !ok {
+			continue
+		}
+		if total := dik + dkj; total < best {
+			best = total
+			bestVia = k
+		}
+	}
+	if bestVia < 0 {
+		return d, nil // no relay measured to both endpoints
+	}
+	if hasDirect && best >= direct {
+		return d, nil // the direct edge wins; no detour
+	}
+	d.Via = bestVia
+	d.ViaDelay = best
+	if hasDirect {
+		d.Gain = direct - best
+	}
+	return d, nil
+}

@@ -1,0 +1,338 @@
+package tivaware
+
+import (
+	"context"
+	"fmt"
+
+	"tivaware/internal/delayspace"
+	"tivaware/internal/tiv"
+)
+
+// Options configures a Service. The zero value is valid: exact
+// severities, GOMAXPROCS workers, batch (engine) severity provider.
+type Options struct {
+	// Workers bounds analysis parallelism; zero means GOMAXPROCS.
+	Workers int
+	// SampleThirdNodes, when positive, estimates severities from that
+	// many random third nodes instead of all N (see tiv.Options). In
+	// sampled mode exact violation counts are unavailable: Analysis
+	// returns an error and Violated flags derive from severity > 0.
+	SampleThirdNodes int
+	// Seed drives sampled estimation.
+	Seed int64
+	// Live maintains an incremental tiv.Monitor instead of re-running
+	// the batch engine when the source changes: O(N) per edge update
+	// via ApplyUpdate/ApplyBatch, with Subscribe delivering
+	// violated-edge deltas. Requires a matrix-backed source
+	// (MatrixSource or NewFromMatrix) and exact severities.
+	Live bool
+	// JournalSize is passed to the monitor in Live mode (0 = monitor
+	// default, negative disables).
+	JournalSize int
+	// AnalysisSource, when non-nil, supplies the delays the severity
+	// analysis runs over while queries keep ranking on the primary
+	// source's delays. The paper's selection mechanisms work exactly
+	// this way: candidates are ranked on cheap predicted delays (a
+	// coordinate embedding) but defended with severities of the
+	// measured delay space, which the embedding cannot express. Must
+	// cover the same node count as the primary source; incompatible
+	// with Live (a live service analyzes the matrix it monitors).
+	AnalysisSource DelaySource
+}
+
+// Service is the TIV-aware application API: severity-penalized
+// candidate ranking, violated-edge flags, one-hop detour discovery,
+// and violated-edge change subscriptions over one DelaySource.
+//
+// The severity provider is chosen automatically: services built from
+// a live monitor (NewFromMonitor, or Options.Live) keep the analysis
+// incrementally current; all others run the batch engine lazily,
+// re-analyzing only when the source's Version moves.
+//
+// A Service is not safe for concurrent use.
+type Service struct {
+	src  DelaySource // ranking/detour delays
+	asrc DelaySource // severity-analysis delays (== src unless Options.AnalysisSource)
+	opts Options
+
+	// Exactly one severity provider is active.
+	mon *tiv.Monitor // incremental provider (Live / NewFromMonitor)
+	eng *tiv.Engine  // batch provider
+
+	// Batch-provider state: the matrix analyzed (the source's own
+	// matrix, or a materialized snapshot for predictor sources) and
+	// version-keyed caches.
+	m        *delayspace.Matrix
+	snapshot bool   // m is a materialized copy that tracks asrc.Version
+	snapOK   uint64 // asrc version the snapshot is materialized at
+	haveSnap bool
+	analysis tiv.Analysis
+	sev      tiv.EdgeSeverities
+	sevOK    uint64 // src version the severities-only cache is synced to
+	fullOK   uint64 // src version the full analysis is synced to
+	haveSev  bool
+	haveFull bool
+
+	// Sampled/bounded fraction cache, keyed on (version, maxTriples).
+	fracVal  float64
+	fracOK   uint64
+	fracMax  int
+	haveFrac bool
+
+	subs    map[int]func(tiv.ChangeSet)
+	nextSub int
+}
+
+// New builds a Service over src. With Options.Live the source must be
+// matrix-backed (MatrixSource); otherwise any source works and the
+// batch engine re-analyzes when src.Version moves (predictor-backed
+// sources are materialized into a snapshot matrix first).
+func New(src DelaySource, opts Options) (*Service, error) {
+	if src == nil {
+		return nil, fmt.Errorf("tivaware: nil DelaySource")
+	}
+	if opts.SampleThirdNodes < 0 {
+		return nil, fmt.Errorf("tivaware: negative SampleThirdNodes %d", opts.SampleThirdNodes)
+	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("tivaware: negative Workers %d", opts.Workers)
+	}
+	s := &Service{src: src, asrc: src, opts: opts, subs: make(map[int]func(tiv.ChangeSet))}
+	if opts.AnalysisSource != nil {
+		if opts.Live {
+			return nil, fmt.Errorf("tivaware: AnalysisSource is incompatible with Live (a live service analyzes the matrix it monitors)")
+		}
+		if opts.AnalysisSource.N() != src.N() {
+			return nil, fmt.Errorf("tivaware: AnalysisSource covers %d nodes, primary source %d", opts.AnalysisSource.N(), src.N())
+		}
+		s.asrc = opts.AnalysisSource
+	}
+	if opts.Live {
+		if opts.SampleThirdNodes > 0 {
+			return nil, fmt.Errorf("tivaware: Live mode requires exact severities (SampleThirdNodes = 0)")
+		}
+		ms, ok := src.(matrixSource)
+		if !ok {
+			return nil, fmt.Errorf("tivaware: Live mode requires a matrix-backed source, have %T", src)
+		}
+		s.mon = tiv.NewMonitor(ms.m, tiv.MonitorOptions{Workers: opts.Workers, JournalSize: opts.JournalSize})
+		s.mon.OnChange(s.fanout)
+		return s, nil
+	}
+	switch t := s.asrc.(type) {
+	case matrixSource:
+		s.m = t.m
+	case monitorSource:
+		if s.asrc == s.src {
+			// The monitor already maintains the analysis; adopt it as
+			// the provider rather than re-scanning its matrix.
+			s.mon = t.mon
+			t.mon.OnChange(s.fanout)
+			return s, nil
+		}
+		s.m = t.mon.Matrix()
+	default:
+		s.m = delayspace.New(s.asrc.N())
+		s.snapshot = true
+	}
+	s.eng = tiv.NewEngine(tiv.Options{
+		Workers:          opts.Workers,
+		SampleThirdNodes: opts.SampleThirdNodes,
+		Seed:             opts.Seed,
+	})
+	return s, nil
+}
+
+// NewFromMatrix is New over MatrixSource(m).
+func NewFromMatrix(m *delayspace.Matrix, opts Options) (*Service, error) {
+	return New(MatrixSource(m), opts)
+}
+
+// NewFromMonitor adopts an existing live monitor as the severity
+// provider: the service stays current as updates are applied to the
+// monitor, and Subscribe delivers its violated-edge deltas.
+func NewFromMonitor(mon *tiv.Monitor, opts Options) (*Service, error) {
+	if mon == nil {
+		return nil, fmt.Errorf("tivaware: nil monitor")
+	}
+	if opts.SampleThirdNodes > 0 {
+		return nil, fmt.Errorf("tivaware: monitor-backed services use exact severities (SampleThirdNodes = 0)")
+	}
+	opts.Live = false // the provider decision is already made
+	return New(MonitorSource(mon), opts)
+}
+
+// N returns the node count.
+func (s *Service) N() int { return s.src.N() }
+
+// Source returns the service's delay source.
+func (s *Service) Source() DelaySource { return s.src }
+
+// Live reports whether the severity provider is an incremental
+// monitor.
+func (s *Service) Live() bool { return s.mon != nil }
+
+// Delay returns the source's delay estimate for (i, j).
+func (s *Service) Delay(i, j int) (float64, bool) { return s.src.Delay(i, j) }
+
+// fanout delivers one monitor change set to every subscriber.
+func (s *Service) fanout(cs tiv.ChangeSet) {
+	for _, fn := range s.subs {
+		fn(cs)
+	}
+}
+
+// refreshSnapshot re-materializes the analysis matrix for sources
+// without a backing matrix, at most once per source version.
+func (s *Service) refreshSnapshot() {
+	if !s.snapshot {
+		return
+	}
+	if v := s.asrc.Version(); !s.haveSnap || s.snapOK != v {
+		// Ignore the error: the snapshot is allocated with asrc.N()
+		// nodes at construction and sources have a fixed node count.
+		_ = materialize(s.m, s.asrc)
+		s.snapOK, s.haveSnap = v, true
+	}
+}
+
+// severities returns the current per-edge severities, recomputing only
+// when the source version moved. This is the cheapest refresh: it runs
+// the severities-only kernel and leaves violation counts to callers
+// that need them (see full).
+func (s *Service) severities() *tiv.EdgeSeverities {
+	if s.mon != nil {
+		return s.mon.Severities()
+	}
+	v := s.asrc.Version()
+	if s.haveFull && s.fullOK == v {
+		return s.analysis.Severities
+	}
+	if !s.haveSev || s.sevOK != v {
+		s.refreshSnapshot()
+		s.eng.AllSeveritiesInto(&s.sev, s.m)
+		s.sevOK = v
+		s.haveSev = true
+	}
+	return &s.sev
+}
+
+// full returns the complete current analysis (severities, violation
+// counts, violating-triangle total), recomputing only when the source
+// version moved. It returns an error in sampled mode, where exact
+// counts are not computed.
+func (s *Service) full() (tiv.Analysis, error) {
+	if s.mon != nil {
+		return s.mon.Analysis(), nil
+	}
+	if s.opts.SampleThirdNodes > 0 {
+		return tiv.Analysis{}, fmt.Errorf("tivaware: exact analysis unavailable with SampleThirdNodes = %d", s.opts.SampleThirdNodes)
+	}
+	if v := s.asrc.Version(); !s.haveFull || s.fullOK != v {
+		s.refreshSnapshot()
+		s.analysis = s.eng.AnalyzeInto(s.analysis, s.m)
+		s.fullOK = v
+		s.haveFull = true
+	}
+	return s.analysis, nil
+}
+
+// Severities returns the current per-edge TIV severities (exact or
+// sampled per Options), kept current with the source. The returned
+// view is valid until the next service call.
+func (s *Service) Severities() *tiv.EdgeSeverities { return s.severities() }
+
+// Analysis returns the current exact analysis in the shape
+// tiv.Engine.Analyze produces. It errors in sampled mode.
+func (s *Service) Analysis() (tiv.Analysis, error) { return s.full() }
+
+// ViolatingTriangleFraction returns the fraction of node triples
+// violating the triangle inequality. Live services report the exact,
+// incrementally maintained count. Otherwise, maxTriples > 0 bounds
+// the work: when the matrix has more triples than that (or severities
+// are sampled), that many triples are sampled uniformly instead of
+// counted exactly; maxTriples <= 0 forces the exact count.
+func (s *Service) ViolatingTriangleFraction(maxTriples int) float64 {
+	if s.mon != nil {
+		return s.mon.ViolatingTriangleFraction()
+	}
+	v := s.asrc.Version()
+	if s.haveFull && s.fullOK == v {
+		return s.analysis.ViolatingTriangleFraction()
+	}
+	if s.opts.SampleThirdNodes > 0 || maxTriples > 0 {
+		if s.haveFrac && s.fracOK == v && s.fracMax == maxTriples {
+			return s.fracVal
+		}
+		s.refreshSnapshot()
+		s.fracVal = s.eng.ViolatingTriangleFraction(s.m, maxTriples)
+		s.fracOK, s.fracMax, s.haveFrac = v, maxTriples, true
+		return s.fracVal
+	}
+	a, err := s.full()
+	if err != nil {
+		return 0
+	}
+	return a.ViolatingTriangleFraction()
+}
+
+// TopEdges returns the k edges with the highest current severity,
+// most severe first.
+func (s *Service) TopEdges(k int) []delayspace.Edge {
+	if s.mon != nil {
+		return s.mon.TopEdges(k)
+	}
+	return s.severities().TopEdges(k)
+}
+
+// ApplyUpdate streams one edge measurement into a live service:
+// the matrix mutates and the analysis is re-established incrementally
+// in O(N). It errors on batch-provider services.
+func (s *Service) ApplyUpdate(i, j int, rtt float64) (tiv.ChangeSet, error) {
+	if s.mon == nil {
+		return tiv.ChangeSet{}, fmt.Errorf("tivaware: ApplyUpdate requires a live service (Options.Live or NewFromMonitor)")
+	}
+	return s.mon.ApplyUpdate(i, j, rtt)
+}
+
+// ApplyBatch streams a batch of edge measurements into a live service.
+func (s *Service) ApplyBatch(updates []tiv.Update) (tiv.ChangeSet, error) {
+	if s.mon == nil {
+		return tiv.ChangeSet{}, fmt.Errorf("tivaware: ApplyBatch requires a live service (Options.Live or NewFromMonitor)")
+	}
+	return s.mon.ApplyBatch(updates)
+}
+
+// Subscribe registers fn to receive violated-edge change deltas after
+// every applied update whose ChangeSet is non-empty (and after every
+// rescan). Multiple subscribers are supported; the returned cancel
+// function removes this one. Subscriptions require a live service.
+func (s *Service) Subscribe(fn func(tiv.ChangeSet)) (cancel func(), err error) {
+	if s.mon == nil {
+		return nil, fmt.Errorf("tivaware: Subscribe requires a live service (Options.Live or NewFromMonitor)")
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("tivaware: nil subscriber")
+	}
+	id := s.nextSub
+	s.nextSub++
+	s.subs[id] = fn
+	return func() { delete(s.subs, id) }, nil
+}
+
+// checkNode validates a node index.
+func (s *Service) checkNode(what string, i int) error {
+	if i < 0 || i >= s.src.N() {
+		return fmt.Errorf("tivaware: %s %d out of range [0,%d)", what, i, s.src.N())
+	}
+	return nil
+}
+
+func checkCtx(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}

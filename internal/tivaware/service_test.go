@@ -1,0 +1,307 @@
+package tivaware
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tivaware/internal/delayspace"
+	"tivaware/internal/synth"
+	"tivaware/internal/tiv"
+)
+
+func genSpace(t testing.TB, n int, seed int64) *delayspace.Matrix {
+	t.Helper()
+	sp, err := synth.Generate(synth.DS2Like(n, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp.Matrix
+}
+
+// holeyMatrix builds a random symmetric matrix with missing entries.
+func holeyMatrix(n int, seed int64, missingFrac float64) *delayspace.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := delayspace.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < missingFrac {
+				continue
+			}
+			m.Set(i, j, 1+rng.Float64()*200)
+		}
+	}
+	return m
+}
+
+func TestServiceSeveritiesMatchEngine(t *testing.T) {
+	m := genSpace(t, 120, 5)
+	svc, err := NewFromMatrix(m, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tiv.AllSeverities(m, tiv.Options{Workers: 1})
+	got := svc.Severities()
+	for i := 0; i < m.N(); i++ {
+		for j := 0; j < m.N(); j++ {
+			if math.Abs(got.At(i, j)-want.At(i, j)) > 1e-12 {
+				t.Fatalf("severity (%d,%d) = %g, want %g", i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+	}
+	an, err := svc.Analysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.ViolatingTriangles <= 0 {
+		t.Error("TIV-rich space reports no violating triangles")
+	}
+	if f := svc.ViolatingTriangleFraction(0); f != an.ViolatingTriangleFraction() {
+		t.Errorf("fraction %g != analysis fraction %g", f, an.ViolatingTriangleFraction())
+	}
+}
+
+func TestServiceCacheTracksMatrixVersion(t *testing.T) {
+	m := genSpace(t, 80, 9)
+	svc, err := NewFromMatrix(m, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := svc.Severities()
+	if again := svc.Severities(); again != before {
+		t.Error("unchanged matrix recomputed severities (cache miss)")
+	}
+	// Mutate an edge out-of-band: the service must notice via Version.
+	e := m.Edges()[0]
+	m.Set(e.I, e.J, e.Delay*3+50)
+	after := svc.Severities()
+	want := tiv.AllSeverities(m, tiv.Options{Workers: 1})
+	diff := 0.0
+	for i := 0; i < m.N(); i++ {
+		for j := i + 1; j < m.N(); j++ {
+			if d := math.Abs(after.At(i, j) - want.At(i, j)); d > diff {
+				diff = d
+			}
+		}
+	}
+	if diff > 1e-12 {
+		t.Errorf("post-mutation severities stale (max diff %g)", diff)
+	}
+}
+
+func TestLiveServiceMatchesBatch(t *testing.T) {
+	m := genSpace(t, 90, 13)
+	svc, err := NewFromMatrix(m, Options{Live: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !svc.Live() {
+		t.Fatal("Live option did not select the monitor provider")
+	}
+	rng := rand.New(rand.NewSource(2))
+	edges := m.Edges()
+	for k := 0; k < 200; k++ {
+		e := edges[rng.Intn(len(edges))]
+		if _, err := svc.ApplyUpdate(e.I, e.J, 1+rng.Float64()*300); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live, err := svc.Analysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := tiv.NewEngine(tiv.Options{Workers: 1}).Analyze(m)
+	if live.ViolatingTriangles != fresh.ViolatingTriangles {
+		t.Errorf("live triangles %d, rescan %d", live.ViolatingTriangles, fresh.ViolatingTriangles)
+	}
+	for i := 0; i < m.N(); i++ {
+		for j := i + 1; j < m.N(); j++ {
+			if math.Abs(live.Severities.At(i, j)-fresh.Severities.At(i, j)) > 1e-9 {
+				t.Fatalf("live severity (%d,%d) diverged", i, j)
+			}
+		}
+	}
+}
+
+// triangleMatrix is a metric 3-node triangle whose edge (0,1) can be
+// flipped in and out of violation deterministically.
+func triangleMatrix() *delayspace.Matrix {
+	m := delayspace.New(3)
+	m.Set(0, 1, 15)
+	m.Set(0, 2, 10)
+	m.Set(1, 2, 10)
+	return m
+}
+
+func TestSubscribeFanOutAndCancel(t *testing.T) {
+	m := triangleMatrix()
+	svc, err := NewFromMatrix(m, Options{Live: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b int
+	cancelA, err := svc.Subscribe(func(cs tiv.ChangeSet) { a++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Subscribe(func(cs tiv.ChangeSet) { b++ }); err != nil {
+		t.Fatal(err)
+	}
+	// 10+10 < 100: edge (0,1) starts violating — both subscribers fire.
+	if _, err := svc.ApplyUpdate(0, 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if a != 1 || b != 1 {
+		t.Fatalf("subscribers after violation: a=%d b=%d, want 1/1", a, b)
+	}
+	cancelA()
+	// Restore: the violation clears — only the remaining subscriber fires.
+	if _, err := svc.ApplyUpdate(0, 1, 15); err != nil {
+		t.Fatal(err)
+	}
+	if a != 1 {
+		t.Error("cancelled subscriber still notified")
+	}
+	if b != 2 {
+		t.Errorf("remaining subscriber saw %d changes, want 2", b)
+	}
+}
+
+// TestServiceAndMatrixHooksCoexist is the multi-subscriber regression
+// test of the satellite checklist: a live service (whose monitor
+// mutates the matrix through ApplyUpdate) and independent
+// delayspace.Matrix.OnChange hooks observe the same matrix without
+// clobbering each other.
+func TestServiceAndMatrixHooksCoexist(t *testing.T) {
+	m := triangleMatrix()
+	var rawA, rawB int
+	m.OnChange(func(i, j int, old, new float64) { rawA++ })
+	svc, err := NewFromMatrix(m, Options{Live: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.OnChange(func(i, j int, old, new float64) { rawB++ }) // registered after the service
+	var deltas int
+	if _, err := svc.Subscribe(func(tiv.ChangeSet) { deltas++ }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.ApplyUpdate(0, 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if rawA != 1 || rawB != 1 {
+		t.Errorf("matrix hooks fired (%d, %d) times, want (1, 1)", rawA, rawB)
+	}
+	if deltas != 1 {
+		t.Errorf("service subscriber fired %d times, want 1", deltas)
+	}
+}
+
+func TestBatchServiceRejectsLiveOnlyCalls(t *testing.T) {
+	m := genSpace(t, 40, 3)
+	svc, err := NewFromMatrix(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.ApplyUpdate(0, 1, 10); err == nil {
+		t.Error("ApplyUpdate on batch service should error")
+	}
+	if _, err := svc.ApplyBatch([]tiv.Update{{I: 0, J: 1, RTT: 10}}); err == nil {
+		t.Error("ApplyBatch on batch service should error")
+	}
+	if _, err := svc.Subscribe(func(tiv.ChangeSet) {}); err == nil {
+		t.Error("Subscribe on batch service should error")
+	}
+}
+
+func TestNewFromMonitorAdoptsProvider(t *testing.T) {
+	m := triangleMatrix()
+	mon := tiv.NewMonitor(m, tiv.MonitorOptions{Workers: 1})
+	svc, err := NewFromMonitor(mon, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !svc.Live() {
+		t.Fatal("monitor-backed service is not live")
+	}
+	var notified int
+	if _, err := svc.Subscribe(func(tiv.ChangeSet) { notified++ }); err != nil {
+		t.Fatal(err)
+	}
+	// Updates applied directly to the adopted monitor are visible to the
+	// service and its subscribers.
+	if _, err := mon.ApplyUpdate(0, 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if notified == 0 {
+		t.Error("service subscriber missed an update applied to the adopted monitor")
+	}
+	live, err := svc.Analysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.ViolatingTriangles != mon.ViolatingTriangles() || live.ViolatingTriangles != 1 {
+		t.Errorf("service analysis diverged from the adopted monitor (%d vs %d)",
+			live.ViolatingTriangles, mon.ViolatingTriangles())
+	}
+}
+
+func TestSampledModeSeveritiesOnly(t *testing.T) {
+	m := genSpace(t, 150, 7)
+	svc, err := NewFromMatrix(m, Options{SampleThirdNodes: 32, Seed: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Analysis(); err == nil {
+		t.Error("sampled-mode Analysis should error")
+	}
+	sev := svc.Severities()
+	want := tiv.AllSeverities(m, tiv.Options{SampleThirdNodes: 32, Seed: 1, Workers: 1})
+	if sev.At(0, 1) != want.At(0, 1) {
+		t.Errorf("sampled severity mismatch: %g vs %g", sev.At(0, 1), want.At(0, 1))
+	}
+	if f := svc.ViolatingTriangleFraction(5000); f <= 0 {
+		t.Errorf("sampled fraction %g, want > 0 on a TIV-rich space", f)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	m := genSpace(t, 40, 3)
+	if _, err := New(nil, Options{}); err == nil {
+		t.Error("nil source should error")
+	}
+	if _, err := NewFromMatrix(m, Options{SampleThirdNodes: -1}); err == nil {
+		t.Error("negative sample should error")
+	}
+	if _, err := NewFromMatrix(m, Options{Workers: -1}); err == nil {
+		t.Error("negative workers should error")
+	}
+	if _, err := NewFromMatrix(m, Options{Live: true, SampleThirdNodes: 8}); err == nil {
+		t.Error("live + sampled should error")
+	}
+	if _, err := New(FromPredictor(matrixPredictor{m}, m.N()), Options{Live: true}); err == nil {
+		t.Error("live over a predictor source should error")
+	}
+	if _, err := NewFromMonitor(nil, Options{}); err == nil {
+		t.Error("nil monitor should error")
+	}
+	other := genSpace(t, 20, 4)
+	if _, err := NewFromMatrix(m, Options{AnalysisSource: MatrixSource(other)}); err == nil {
+		t.Error("mismatched AnalysisSource size should error")
+	}
+	if _, err := NewFromMatrix(m, Options{Live: true, AnalysisSource: MatrixSource(m)}); err == nil {
+		t.Error("live + AnalysisSource should error")
+	}
+}
+
+// matrixPredictor adapts a matrix to the Predictor seam for tests.
+type matrixPredictor struct{ m *delayspace.Matrix }
+
+func (p matrixPredictor) Predict(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	if d := p.m.At(i, j); d != delayspace.Missing {
+		return d
+	}
+	return 0
+}

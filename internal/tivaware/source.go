@@ -1,0 +1,151 @@
+// Package tivaware is the application-facing API of this repository:
+// the paper's TIV-aware primitives — severity-aware candidate ranking,
+// violated-edge flags, one-hop detour exploitation, and violated-edge
+// change subscriptions — behind one stable service façade.
+//
+// The paper's thesis is that distributed systems (server selection,
+// closest-node search, overlay multicast) should both *defend against*
+// triangle inequality violations and *exploit* them: an edge that is
+// violated by some third node C admits a detour path A→C→B that is
+// strictly faster than the direct edge A→B. Consumers — the examples,
+// the CLIs, overlay trees, the experiment suite — talk to a Service
+// rather than wiring into tiv.Engine or tiv.Monitor directly; the
+// severity provider (batch engine vs incremental monitor) is chosen
+// automatically from how the service is constructed.
+//
+// Delay data enters through the DelaySource seam: a delayspace.Matrix,
+// a coordinate predictor (vivaldi, ides, lat — via FromPredictor), or
+// a live tiv.Monitor all satisfy it.
+package tivaware
+
+import (
+	"fmt"
+	"math"
+
+	"tivaware/internal/delayspace"
+	"tivaware/internal/tiv"
+)
+
+// DelaySource supplies pairwise delay estimates to a Service. It is
+// the seam between delay data (measured matrices, coordinate
+// embeddings, live monitors) and the TIV-aware queries built on top.
+//
+// Implementations must be cheap to query: Delay is called O(N) times
+// per selection and O(N) times per detour query.
+type DelaySource interface {
+	// N returns the number of nodes.
+	N() int
+	// Delay returns the delay estimate for the pair (i, j) in
+	// milliseconds and whether an estimate exists. Delay(i, i) is
+	// (0, true); unmeasured or unpredictable pairs return ok == false.
+	Delay(i, j int) (float64, bool)
+	// Version is a counter that changes whenever the underlying delays
+	// may have changed. Services cache analyses keyed on it.
+	Version() uint64
+}
+
+// matrixSource adapts a *delayspace.Matrix.
+type matrixSource struct{ m *delayspace.Matrix }
+
+// MatrixSource exposes a measured delay matrix as a DelaySource.
+// Mutations of the matrix are visible through the source immediately
+// and move its Version.
+func MatrixSource(m *delayspace.Matrix) DelaySource { return matrixSource{m} }
+
+func (s matrixSource) N() int { return s.m.N() }
+
+func (s matrixSource) Delay(i, j int) (float64, bool) {
+	if i == j {
+		return 0, true
+	}
+	d := s.m.At(i, j)
+	if d == delayspace.Missing {
+		return 0, false
+	}
+	return d, true
+}
+
+func (s matrixSource) Version() uint64 { return s.m.Version() }
+
+// Predictor estimates the delay between two nodes. vivaldi.System,
+// ides.System, lat.Predictor and the dynamic-neighbor snapshots all
+// satisfy it.
+type Predictor interface {
+	Predict(i, j int) float64
+}
+
+// PredictorSource adapts a coordinate predictor to the DelaySource
+// seam. Predictors are snapshots: the source reports a constant
+// version until Invalidate is called (after the underlying embedding
+// has been advanced).
+type PredictorSource struct {
+	p       Predictor
+	n       int
+	version uint64
+}
+
+// FromPredictor wraps a delay predictor over n nodes.
+func FromPredictor(p Predictor, n int) *PredictorSource {
+	return &PredictorSource{p: p, n: n, version: 1}
+}
+
+// N implements DelaySource.
+func (s *PredictorSource) N() int { return s.n }
+
+// Delay implements DelaySource. Negative or NaN predictions report
+// ok == false (inner-product predictors can produce them; they carry
+// no meaning for selection).
+func (s *PredictorSource) Delay(i, j int) (float64, bool) {
+	if i == j {
+		return 0, true
+	}
+	d := s.p.Predict(i, j)
+	if math.IsNaN(d) || d < 0 {
+		return 0, false
+	}
+	return d, true
+}
+
+// Version implements DelaySource.
+func (s *PredictorSource) Version() uint64 { return s.version }
+
+// Invalidate marks the predictor's state as changed, forcing services
+// built on this source to re-analyze on their next query.
+func (s *PredictorSource) Invalidate() { s.version++ }
+
+// monitorSource adapts a live tiv.Monitor: delays come from the
+// monitor's matrix, and the version follows the matrix so analyses
+// stay keyed to the data actually measured.
+type monitorSource struct{ mon *tiv.Monitor }
+
+// MonitorSource exposes the matrix behind a live monitor as a
+// DelaySource.
+func MonitorSource(mon *tiv.Monitor) DelaySource { return monitorSource{mon} }
+
+func (s monitorSource) N() int { return s.mon.N() }
+
+func (s monitorSource) Delay(i, j int) (float64, bool) {
+	return matrixSource{s.mon.Matrix()}.Delay(i, j)
+}
+
+func (s monitorSource) Version() uint64 { return s.mon.Matrix().Version() }
+
+// materialize fills dst (an N×N matrix) from src, used when a service
+// must run the batch analysis over a source that has no backing
+// matrix. Pairs with ok == false stay Missing.
+func materialize(dst *delayspace.Matrix, src DelaySource) error {
+	n := src.N()
+	if dst.N() != n {
+		return fmt.Errorf("tivaware: materialize into %d-node matrix from %d-node source", dst.N(), n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d, ok := src.Delay(i, j)
+			if !ok {
+				d = delayspace.Missing
+			}
+			dst.Set(i, j, d)
+		}
+	}
+	return nil
+}
