@@ -186,6 +186,33 @@ func BenchmarkServiceClosestNode(b *testing.B) {
 	}
 }
 
+// BenchmarkServiceClosestNodeParallel runs the same warm selection
+// from GOMAXPROCS goroutines at once. Queries read the service's
+// published epoch lock-free, so throughput must scale with the
+// processor count — compare ns/op against the serial
+// BenchmarkServiceClosestNode: near-linear scaling means no lock on
+// the query path.
+func BenchmarkServiceClosestNodeParallel(b *testing.B) {
+	svc, sp := benchService(b, 400, tivaware.Options{})
+	ctx := context.Background()
+	n := sp.Matrix.N()
+	opts := tivaware.QueryOptions{SeverityPenalty: 2}
+	if _, err := svc.ClosestNode(ctx, 0, opts); err != nil { // warm the epoch
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			if _, err := svc.ClosestNode(ctx, i%n, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkDetourPath measures one best-one-hop-detour query: an O(N)
 // scan over the delay source.
 func BenchmarkDetourPath(b *testing.B) {

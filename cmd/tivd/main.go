@@ -1,0 +1,149 @@
+// Command tivd is the TIV query daemon: it loads (or synthesizes) a
+// delay matrix, wraps it in a tivaware.Service, and serves the
+// TIV-aware query API over HTTP/JSON — severity-penalized ranking,
+// closest-node selection, one-hop detour discovery, worst-edge
+// listing, live updates, and an SSE stream of violated-edge change
+// sets. Remote consumers use internal/tivclient (or plain curl).
+//
+// Serve a measured matrix, read-only:
+//
+//	tivd -in ds2.csv -listen 0.0.0.0:7070
+//
+// Serve a live synthetic matrix accepting updates and subscriptions:
+//
+//	tivd -synth 200 -live -listen 127.0.0.1:7070
+//
+// Then:
+//
+//	curl 'http://127.0.0.1:7070/healthz'
+//	curl 'http://127.0.0.1:7070/v1/closest?target=0&penalty=2'
+//	curl -N 'http://127.0.0.1:7070/v1/subscribe'
+//
+// The daemon shuts down cleanly on SIGINT/SIGTERM: subscription
+// streams are closed and in-flight requests drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tivaware/internal/delayspace"
+	"tivaware/internal/synth"
+	"tivaware/internal/tivaware"
+	"tivaware/internal/tivd"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "tivd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until the context (nil means "on
+// SIGINT/SIGTERM") is done. The bound address is printed to stdout so
+// callers using -listen :0 can find it.
+func run(args []string, stdout io.Writer, ctx context.Context) error {
+	fs := flag.NewFlagSet("tivd", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		listen  = fs.String("listen", "127.0.0.1:7070", "HTTP listen address (use :0 for an ephemeral port)")
+		in      = fs.String("in", "", "delay matrix file to serve")
+		format  = fs.String("format", "csv", "input format: csv or binary")
+		synthN  = fs.Int("synth", 0, "serve a DS2-like synthetic matrix of this many nodes instead of -in")
+		seed    = fs.Int64("seed", 1, "seed for -synth")
+		live    = fs.Bool("live", false, "maintain the analysis incrementally and accept POST /v1/update + /v1/subscribe")
+		workers = fs.Int("workers", 0, "analysis parallelism (0 = GOMAXPROCS)")
+		sample  = fs.Int("sample", 0, "estimate severities from this many third nodes (0 = exact; incompatible with -live)")
+		maxK    = fs.Int("maxk", 0, "cap on k for /v1/rank and /v1/top (0 = default 4096)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*in == "") == (*synthN == 0) {
+		fs.Usage()
+		return fmt.Errorf("exactly one of -in or -synth required")
+	}
+
+	var m *delayspace.Matrix
+	switch {
+	case *synthN > 0:
+		sp, err := synth.Generate(synth.DS2Like(*synthN, *seed))
+		if err != nil {
+			return err
+		}
+		m = sp.Matrix
+	default:
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		switch *format {
+		case "csv":
+			m, err = delayspace.ReadCSV(f)
+		case "binary":
+			m, err = delayspace.ReadBinary(f)
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	svc, err := tivaware.NewFromMatrix(m, tivaware.Options{
+		Workers:          *workers,
+		SampleThirdNodes: *sample,
+		Seed:             *seed,
+		Live:             *live,
+	})
+	if err != nil {
+		return err
+	}
+	srv, err := tivd.New(svc, tivd.Options{MaxRankK: *maxK})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "tivd: serving %d nodes (live=%v) on http://%s\n", svc.N(), svc.Live(), ln.Addr())
+
+	if ctx == nil {
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stdout, "tivd: shutting down")
+	srv.Close() // end SSE streams so Shutdown can drain
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"context"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tivaware/internal/tivaware"
+	"tivaware/internal/tivclient"
+	"tivaware/internal/tivwire"
+)
+
+// notifyWriter captures output and signals once the serving line
+// (carrying the bound address) has been written.
+type notifyWriter struct {
+	mu    sync.Mutex
+	buf   strings.Builder
+	ready chan struct{}
+	once  sync.Once
+}
+
+var addrRe = regexp.MustCompile(`on http://(\S+)`)
+
+func (w *notifyWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	w.buf.Write(p)
+	s := w.buf.String()
+	w.mu.Unlock()
+	if addrRe.MatchString(s) {
+		w.once.Do(func() { close(w.ready) })
+	}
+	return len(p), nil
+}
+
+func (w *notifyWriter) addr() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	m := addrRe.FindStringSubmatch(w.buf.String())
+	if m == nil {
+		return ""
+	}
+	return m[1]
+}
+
+// TestDaemonEndToEnd boots the real daemon on an ephemeral port with
+// a synthetic matrix, runs one client query and one SSE subscribe
+// round-trip over real TCP, and shuts it down cleanly — the same
+// sequence the CI smoke job runs against the built binary.
+func TestDaemonEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := &notifyWriter{ready: make(chan struct{})}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-listen", "127.0.0.1:0", "-synth", "32", "-live"}, w, ctx)
+	}()
+	select {
+	case <-w.ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before serving: %v", err)
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not start serving")
+	}
+	client := tivclient.New("http://"+w.addr(), tivclient.Options{})
+
+	h, err := client.Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N != 32 || !h.Live {
+		t.Fatalf("healthz = %+v, want 32 live nodes", h)
+	}
+
+	best, err := client.ClosestNode(ctx, 0, tivaware.QueryOptions{SeverityPenalty: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Node == 0 || best.Delay <= 0 {
+		t.Fatalf("ClosestNode = %+v", best)
+	}
+
+	// SSE round-trip: subscribe, force a violation through the wire,
+	// expect its change set.
+	subCtx, subCancel := context.WithCancel(ctx)
+	defer subCancel()
+	ready := make(chan struct{})
+	events := make(chan tivwire.ChangeSet, 16)
+	subDone := make(chan error, 1)
+	go func() {
+		subDone <- client.Subscribe(subCtx, ready, func(cs tivwire.ChangeSet) { events <- cs })
+	}()
+	select {
+	case <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("subscription handshake timed out")
+	}
+	// A huge RTT on (0,1) is guaranteed to create violations: any
+	// third node measured to both endpoints witnesses one.
+	if _, err := client.ApplyUpdate(ctx, 0, 1, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-events:
+		found := false
+		for _, e := range ev.NewlyViolated {
+			if e.I == 0 && e.J == 1 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("subscription event %+v does not flag edge (0,1)", ev)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("subscription event did not arrive")
+	}
+	subCancel()
+	if err := <-subDone; err != nil {
+		t.Errorf("Subscribe after cancel: %v", err)
+	}
+
+	// Clean shutdown.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("daemon shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if !strings.Contains(w.buf.String(), "shutting down") {
+		t.Error("daemon did not log its shutdown")
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	if err := run([]string{"-listen", "127.0.0.1:0"}, &strings.Builder{}, context.Background()); err == nil {
+		t.Error("missing -in/-synth should error")
+	}
+	if err := run([]string{"-synth", "8", "-in", "x.csv"}, &strings.Builder{}, context.Background()); err == nil {
+		t.Error("both -in and -synth should error")
+	}
+	if err := run([]string{"-synth", "8", "-live", "-sample", "4", "-listen", "127.0.0.1:0"}, &strings.Builder{}, context.Background()); err == nil {
+		t.Error("live + sampled should error")
+	}
+}

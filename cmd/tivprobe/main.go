@@ -20,13 +20,23 @@
 // as they move:
 //
 //	tivprobe -mesh 16 -watch 5 -top 3
+//
+// With -api, the watcher additionally serves the live service over
+// the tivd HTTP API at the given address and routes its own per-round
+// queries through a tivclient connected to it — a full client↔daemon
+// round trip over the wire, with the API left up for external
+// consumers (curl, tivclient) for the duration of the watch:
+//
+//	tivprobe -mesh 16 -watch 5 -api 127.0.0.1:7070
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -36,6 +46,8 @@ import (
 	"tivaware/internal/netprobe"
 	"tivaware/internal/tiv"
 	"tivaware/internal/tivaware"
+	"tivaware/internal/tivclient"
+	"tivaware/internal/tivd"
 )
 
 func main() {
@@ -58,6 +70,7 @@ func run(args []string, stdout io.Writer) error {
 		out      = fs.String("out", "", "matrix output file for -mesh (default stdout)")
 		watch    = fs.Int("watch", 0, "re-measure the mesh this many rounds, feeding a live TIV monitor")
 		top      = fs.Int("top", 5, "worst TIV edges to report per -watch round")
+		api      = fs.String("api", "", "with -watch: serve the live service over the tivd HTTP API on this address and query it through tivclient")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,7 +95,10 @@ func run(args []string, stdout io.Writer) error {
 		if *watch < 0 || *top < 0 {
 			return fmt.Errorf("-watch and -top must be >= 0")
 		}
-		return runMesh(stdout, *mesh, *out, *timeout, *watch, *top)
+		if *api != "" && *watch == 0 {
+			return fmt.Errorf("-api requires -watch")
+		}
+		return runMesh(stdout, *mesh, *out, *timeout, *watch, *top, *api)
 	}
 }
 
@@ -139,7 +155,7 @@ func runProbe(stdout io.Writer, targets string, count int, timeout time.Duration
 	return nil
 }
 
-func runMesh(stdout io.Writer, n int, out string, timeout time.Duration, watch, top int) error {
+func runMesh(stdout io.Writer, n int, out string, timeout time.Duration, watch, top int, api string) error {
 	cluster, err := netprobe.NewCluster(n, "127.0.0.1", netprobe.ProbeOptions{Timeout: timeout, Retries: 1})
 	if err != nil {
 		return err
@@ -163,7 +179,7 @@ func runMesh(stdout io.Writer, n int, out string, timeout time.Duration, watch, 
 			n, len(rtts), rtts[len(rtts)/2], rtts[len(rtts)-1])
 	}
 	if watch > 0 {
-		if err := runWatch(stdout, cluster, m, watch, top); err != nil {
+		if err := runWatch(stdout, cluster, m, watch, top, api); err != nil {
 			return err
 		}
 	}
@@ -179,6 +195,37 @@ func runMesh(stdout io.Writer, n int, out string, timeout time.Duration, watch, 
 	return delayspace.WriteCSV(w, m)
 }
 
+// watchReporter answers the watch loop's per-round questions —
+// violating triangle fraction and worst edges — either in-process
+// from the live service or over the wire from a tivd daemon.
+type watchReporter interface {
+	fraction() (float64, error)
+	topEdges(k int) ([]delayspace.Edge, error)
+}
+
+type localReporter struct{ svc *tivaware.Service }
+
+func (r localReporter) fraction() (float64, error) { return r.svc.ViolatingTriangleFraction(0), nil }
+func (r localReporter) topEdges(k int) ([]delayspace.Edge, error) {
+	return r.svc.TopEdges(k), nil
+}
+
+type remoteReporter struct {
+	ctx    context.Context
+	client *tivclient.Client
+}
+
+func (r remoteReporter) fraction() (float64, error) {
+	an, err := r.client.Analysis(r.ctx)
+	if err != nil {
+		return 0, err
+	}
+	return an.ViolatingTriangleFraction, nil
+}
+func (r remoteReporter) topEdges(k int) ([]delayspace.Edge, error) {
+	return r.client.TopEdges(r.ctx, k)
+}
+
 // runWatch keeps re-measuring the mesh and streams each round of live
 // probes into a live tivaware service (an incremental TIV monitor
 // under the hood): the deployment-shaped version of the paper's pitch
@@ -186,14 +233,44 @@ func runMesh(stdout io.Writer, n int, out string, timeout time.Duration, watch, 
 // analyze a frozen matrix offline. The final round's measurements stay
 // in m, so the matrix the caller writes out reflects what the service
 // last saw.
-func runWatch(stdout io.Writer, cluster *netprobe.Cluster, m *delayspace.Matrix, rounds, top int) error {
+//
+// With api non-empty, the live service is additionally served over
+// the tivd HTTP API at that address for the duration of the watch,
+// and the loop's own reporting queries go through a tivclient
+// connected to it — every number printed then made a round trip over
+// the wire.
+func runWatch(stdout io.Writer, cluster *netprobe.Cluster, m *delayspace.Matrix, rounds, top int, api string) error {
 	svc, err := tivaware.NewFromMatrix(m, tivaware.Options{Live: true})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "# monitor baseline: violating triangle fraction %.4f\n",
-		svc.ViolatingTriangleFraction(0))
-	printTopEdges(stdout, svc, m, top)
+	var reporter watchReporter = localReporter{svc: svc}
+	if api != "" {
+		daemon, err := tivd.New(svc, tivd.Options{})
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", api)
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: daemon.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		defer func() {
+			daemon.Close()
+			_ = hs.Shutdown(context.Background())
+		}()
+		fmt.Fprintf(stdout, "# tivd API on http://%s (querying through tivclient)\n", ln.Addr())
+		reporter = remoteReporter{ctx: context.Background(), client: tivclient.New("http://"+ln.Addr().String(), tivclient.Options{})}
+	}
+	frac, err := reporter.fraction()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "# monitor baseline: violating triangle fraction %.4f\n", frac)
+	if err := printTopEdges(stdout, reporter, m, top); err != nil {
+		return err
+	}
 	var updates []tiv.Update
 	for round := 1; round <= rounds; round++ {
 		fresh, err := cluster.MeasureMatrix(8)
@@ -209,16 +286,26 @@ func runWatch(stdout io.Writer, cluster *netprobe.Cluster, m *delayspace.Matrix,
 		if err != nil {
 			return err
 		}
+		if frac, err = reporter.fraction(); err != nil {
+			return err
+		}
 		fmt.Fprintf(stdout, "# watch round %d: %d probes applied, violating fraction %.4f, violated edges +%d/-%d\n",
-			round, len(updates), svc.ViolatingTriangleFraction(0), len(cs.NewlyViolated), len(cs.Cleared))
-		printTopEdges(stdout, svc, m, top)
+			round, len(updates), frac, len(cs.NewlyViolated), len(cs.Cleared))
+		if err := printTopEdges(stdout, reporter, m, top); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-func printTopEdges(stdout io.Writer, svc *tivaware.Service, m *delayspace.Matrix, top int) {
-	for _, e := range svc.TopEdges(top) {
+func printTopEdges(stdout io.Writer, reporter watchReporter, m *delayspace.Matrix, top int) error {
+	edges, err := reporter.topEdges(top)
+	if err != nil {
+		return err
+	}
+	for _, e := range edges {
 		fmt.Fprintf(stdout, "#   top edge %d-%d: severity %.4f, rtt %.3f ms\n",
 			e.I, e.J, e.Delay, m.At(e.I, e.J))
 	}
+	return nil
 }

@@ -174,3 +174,33 @@ func TestMeshToStdout(t *testing.T) {
 		t.Error("summary comment missing")
 	}
 }
+
+// TestMeshWatchViaDaemon is the client↔daemon variant of the watch
+// loop: the live service is served over the tivd HTTP API and the
+// per-round fraction/top-edge reports travel through tivclient.
+func TestMeshWatchViaDaemon(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-mesh", "4", "-watch", "1", "-top", "2", "-api", "127.0.0.1:0"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{
+		"tivd API on http://127.0.0.1:",
+		"monitor baseline: violating triangle fraction",
+		"watch round 1:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("daemon-watch output missing %q:\n%s", want, got)
+		}
+	}
+	if n := strings.Count(got, "top edge"); n != 4 { // baseline + 1 round, 2 edges each
+		t.Errorf("expected 4 top-edge lines, got %d:\n%s", n, got)
+	}
+}
+
+func TestAPIRequiresWatch(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-mesh", "3", "-api", "127.0.0.1:0"}, &sb); err == nil {
+		t.Error("-api without -watch should error")
+	}
+}

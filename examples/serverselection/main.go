@@ -3,6 +3,11 @@
 // (§5.3: ring membership adjustment + query restart), and through the
 // tivaware service's severity-penalized ranking — the same selection
 // primitive without an overlay.
+//
+// The final section runs that ranking twice through the
+// tivaware.Querier seam: once in-process against the Service, and
+// once over the wire against a tivd daemon via tivclient — same code,
+// same answers, two deployment shapes.
 package main
 
 import (
@@ -10,6 +15,8 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"net"
+	"net/http"
 
 	"tivaware/internal/core"
 	"tivaware/internal/delayspace"
@@ -18,6 +25,8 @@ import (
 	"tivaware/internal/stats"
 	"tivaware/internal/synth"
 	"tivaware/internal/tivaware"
+	"tivaware/internal/tivclient"
+	"tivaware/internal/tivd"
 	"tivaware/internal/vivaldi"
 )
 
@@ -105,15 +114,52 @@ func main() {
 		fmt.Printf("tivaware.Rank penalty=%.0f    median penalty %5.1f%%  p90 %6.1f%%  (%d clients)\n",
 			penalty, s.Median, s.P90, len(pens))
 	}
+
+	// Client↔daemon mode: serve the same Service from a tivd daemon on
+	// loopback and rerun the penalized selection through tivclient.
+	// servicePenalties takes a tivaware.Querier, so the only change is
+	// which value it is handed — the networked answers must match the
+	// in-process ones exactly.
+	daemon, err := tivd.New(svc, tivd.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: daemon.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	defer func() {
+		daemon.Close()
+		_ = hs.Shutdown(context.Background())
+	}()
+	client := tivclient.New("http://"+ln.Addr().String(), tivclient.Options{})
+	h, err := client.Healthz(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tivd on %s: %d nodes, epoch %d\n", ln.Addr(), h.N, h.Epoch)
+	for _, penalty := range []float64{0, 2} {
+		pens, err := servicePenalties(ctx, client, space.Matrix, servers, clients, penalty)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := stats.Summarize(pens)
+		fmt.Printf("tivclient.Rank penalty=%.0f   median penalty %5.1f%%  p90 %6.1f%%  (%d clients, via tivd)\n",
+			penalty, s.Median, s.P90, len(pens))
+	}
 }
 
 // servicePenalties evaluates severity-penalized ClosestNode selection
 // against the true delays: the percentage penalty of the selected
-// server vs the optimal one, per client.
-func servicePenalties(ctx context.Context, svc *tivaware.Service, m *delayspace.Matrix, servers, clients []int, penalty float64) ([]float64, error) {
+// server vs the optimal one, per client. It queries through the
+// tivaware.Querier seam, so the same evaluation runs against an
+// in-process Service or a remote tivd daemon.
+func servicePenalties(ctx context.Context, q tivaware.Querier, m *delayspace.Matrix, servers, clients []int, penalty float64) ([]float64, error) {
 	out := make([]float64, 0, len(clients))
 	for _, c := range clients {
-		sel, err := svc.ClosestNode(ctx, c, tivaware.QueryOptions{
+		sel, err := q.ClosestNode(ctx, c, tivaware.QueryOptions{
 			Candidates:      servers,
 			SeverityPenalty: penalty,
 		})

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync/atomic"
 )
 
 // Missing marks an absent measurement. The measured data sets the
@@ -39,8 +40,12 @@ type Matrix struct {
 
 	// version counts mutations; hooks observe them. See Version and
 	// OnChange. Neither is copied by Clone/Submatrix/Reorder: a copy is
-	// a fresh matrix with its own history.
-	version uint64
+	// a fresh matrix with its own history (Snapshot, by contrast,
+	// carries the source's version so consumers can key caches on it).
+	// The counter is atomic so concurrent readers can poll Version
+	// while one writer mutates; the data itself is not synchronized —
+	// concurrent Set and At still require external coordination.
+	version atomic.Uint64
 	hooks   []func(i, j int, old, new float64)
 }
 
@@ -146,7 +151,7 @@ func (m *Matrix) set(i, j int, d float64) {
 		m.mask[i*m.words+j>>6] |= 1 << uint(j&63)
 		m.mask[j*m.words+i>>6] |= 1 << uint(i&63)
 	}
-	m.version++
+	m.version.Add(1)
 	for _, fn := range m.hooks {
 		fn(i, j, old, d)
 	}
@@ -156,7 +161,9 @@ func (m *Matrix) set(i, j int, d float64) {
 // and once per bulk rebuild by the binary loader). Incremental
 // consumers such as tiv.Monitor record the version they last synced to
 // and treat any other value as evidence of an out-of-band change.
-func (m *Matrix) Version() uint64 { return m.version }
+// Version is safe to call concurrently with a mutator; the delays
+// themselves are not.
+func (m *Matrix) Version() uint64 { return m.version.Load() }
 
 // OnChange registers fn to run after every mutation with the edge and
 // its old and new delays (either may be Missing). Hooks run
@@ -171,7 +178,7 @@ func (m *Matrix) OnChange(fn func(i, j int, old, new float64)) {
 // It counts as one mutation for Version (hooks do not fire: there is
 // no per-edge old/new to report for a bulk fill).
 func (m *Matrix) rebuildMask() {
-	m.version++
+	m.version.Add(1)
 	m.words = maskWords(m.n)
 	m.mask = make([]uint64, m.n*m.words)
 	for i := 0; i < m.n; i++ {
@@ -203,6 +210,20 @@ func (m *Matrix) Clone() *Matrix {
 	c := &Matrix{n: m.n, words: m.words, data: make([]float64, len(m.data)), mask: make([]uint64, len(m.mask))}
 	copy(c.data, m.data)
 	copy(c.mask, m.mask)
+	return c
+}
+
+// Snapshot returns an immutable point-in-time copy for concurrent
+// readers: a deep copy that, unlike Clone, carries the source's
+// current Version, so consumers (the tivaware epoch machinery) can key
+// caches on the version the snapshot was taken at. The copy has no
+// hooks and must be treated as read-only — it is two memcpys, cheap
+// relative to any O(N³) analysis of its contents. It must be taken
+// while no concurrent mutator is running; once taken it is safe to
+// read from any number of goroutines.
+func (m *Matrix) Snapshot() *Matrix {
+	c := m.Clone()
+	c.version.Store(m.Version())
 	return c
 }
 

@@ -98,3 +98,34 @@ func TestOnChangeAppendsNotReplaces(t *testing.T) {
 		}
 	}
 }
+
+func TestSnapshotCarriesVersionAndIsolates(t *testing.T) {
+	m := New(4)
+	m.Set(0, 1, 5)
+	m.Set(1, 2, 7)
+	snap := m.Snapshot()
+	if snap.Version() != m.Version() {
+		t.Errorf("snapshot version %d, want source version %d", snap.Version(), m.Version())
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatalf("snapshot invalid: %v", err)
+	}
+	// Source mutations after the snapshot never reach it.
+	m.Set(0, 1, 99)
+	m.Set(2, 3, 11)
+	if snap.At(0, 1) != 5 || snap.Has(2, 3) {
+		t.Errorf("snapshot observed later mutations: At(0,1)=%g Has(2,3)=%v",
+			snap.At(0, 1), snap.Has(2, 3))
+	}
+	if snap.Version() == m.Version() {
+		t.Error("snapshot version moved with the source")
+	}
+	// And snapshot hooks were not inherited.
+	hooked := false
+	m.OnChange(func(i, j int, old, new float64) { hooked = true })
+	snap2 := m.Snapshot()
+	_ = snap2
+	if hooked {
+		t.Error("Snapshot fired mutation hooks")
+	}
+}

@@ -1,0 +1,46 @@
+package tiv
+
+// Snapshot/clone support: the tivaware service publishes analysis
+// results as immutable epochs read lock-free by any number of
+// goroutines, so it needs deep copies of the monitor's cached views
+// (which are rewritten in place on the next mutation) and of engine
+// results whose storage is reused across refreshes.
+
+// Clone returns a deep copy, safe to read after the source is
+// recomputed or mutated. A nil receiver clones to nil.
+func (e *EdgeSeverities) Clone() *EdgeSeverities {
+	if e == nil {
+		return nil
+	}
+	c := &EdgeSeverities{n: e.n, data: make([]float64, len(e.data))}
+	copy(c.data, e.data)
+	return c
+}
+
+// Clone returns a deep copy, safe to read after the source is
+// recomputed or mutated. A nil receiver clones to nil.
+func (c *EdgeCounts) Clone() *EdgeCounts {
+	if c == nil {
+		return nil
+	}
+	d := &EdgeCounts{n: c.n, data: make([]int32, len(c.data))}
+	copy(d.data, c.data)
+	return d
+}
+
+// Clone returns an Analysis whose Severities and Counts are deep
+// copies, decoupled from any provider-owned storage.
+func (a Analysis) Clone() Analysis {
+	a.Severities = a.Severities.Clone()
+	a.Counts = a.Counts.Clone()
+	return a
+}
+
+// SnapshotAnalysis returns a deep copy of the current analysis: where
+// Analysis returns cached views rewritten in place by the next
+// mutation, the snapshot stays valid — and safe to read from other
+// goroutines — forever. Take it on the goroutine that owns the
+// monitor.
+func (mon *Monitor) SnapshotAnalysis() Analysis {
+	return mon.Analysis().Clone()
+}

@@ -1,0 +1,54 @@
+package tiv
+
+import (
+	"testing"
+
+	"tivaware/internal/delayspace"
+)
+
+// snapshotTriangle is a 3-node matrix whose edge (0,1) violates.
+func snapshotTriangle() *delayspace.Matrix {
+	m := delayspace.New(3)
+	m.Set(0, 1, 100)
+	m.Set(0, 2, 10)
+	m.Set(1, 2, 20)
+	return m
+}
+
+func TestMonitorSnapshotAnalysisSurvivesMutation(t *testing.T) {
+	m := snapshotTriangle()
+	mon := NewMonitor(m, MonitorOptions{Workers: 1})
+	snap := mon.SnapshotAnalysis()
+	if snap.ViolatingTriangles != 1 {
+		t.Fatalf("snapshot triangles = %d, want 1", snap.ViolatingTriangles)
+	}
+	sev01 := snap.Severities.At(0, 1)
+	if sev01 <= 0 || snap.Counts.At(0, 1) != 1 {
+		t.Fatalf("snapshot edge (0,1): severity %g count %d, want violated",
+			sev01, snap.Counts.At(0, 1))
+	}
+	// Clear the violation; the snapshot must not move.
+	if _, err := mon.ApplyUpdate(0, 1, 25); err != nil {
+		t.Fatal(err)
+	}
+	if mon.Analysis().ViolatingTriangles != 0 {
+		t.Fatal("monitor did not clear the violation")
+	}
+	if snap.ViolatingTriangles != 1 || snap.Severities.At(0, 1) != sev01 || snap.Counts.At(0, 1) != 1 {
+		t.Errorf("snapshot mutated with the monitor: %d triangles, severity %g, count %d",
+			snap.ViolatingTriangles, snap.Severities.At(0, 1), snap.Counts.At(0, 1))
+	}
+}
+
+func TestCloneNilReceivers(t *testing.T) {
+	var sev *EdgeSeverities
+	var cnt *EdgeCounts
+	if sev.Clone() != nil || cnt.Clone() != nil {
+		t.Error("nil clones should stay nil")
+	}
+	a := Analysis{Triangles: 7, ViolatingTriangles: 3}
+	c := a.Clone()
+	if c.Severities != nil || c.Counts != nil || c.Triangles != 7 || c.ViolatingTriangles != 3 {
+		t.Errorf("zero-view Analysis clone = %+v", c)
+	}
+}

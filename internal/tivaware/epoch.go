@@ -1,0 +1,272 @@
+package tivaware
+
+import (
+	"context"
+	"fmt"
+
+	"tivaware/internal/delayspace"
+	"tivaware/internal/tiv"
+)
+
+// The concurrency core: a Service publishes its state as immutable
+// *epochs* behind an atomic pointer. An epoch bundles everything one
+// query needs — a frozen delay view, the severities (and, for exact
+// epochs, violation counts and the violating-triangle total) computed
+// over exactly those delays — so any number of goroutines read it
+// lock-free and every read within one epoch is mutually consistent:
+// there is no moment where a query ranks on new delays against old
+// severities.
+//
+// Writers never mutate a published epoch. Updates (ApplyUpdate /
+// ApplyBatch on a live service, out-of-band source mutations detected
+// through the version seam, predictor Invalidate) leave the current
+// epoch untouched and only mark it stale by moving the source
+// version; the next query that notices builds the *next* epoch
+// copy-on-write under the service's build mutex and swaps the
+// pointer. Queries racing with an update therefore coalesce: a burst
+// of k updates costs one epoch build, not k.
+type epoch struct {
+	// seq is the service-local epoch counter, monotone across
+	// publishes (cmd/tivd exposes it via /healthz).
+	seq uint64
+	// qVersion and aVersion are the primary- and analysis-source
+	// versions this epoch reflects; the epoch is stale once either
+	// source reports a different value.
+	qVersion uint64
+	aVersion uint64
+	// q is the frozen delay view queries rank and detour over: a
+	// matrix snapshot for matrix- and monitor-backed sources, the
+	// (per-version immutable) source itself otherwise.
+	q DelaySource
+	// Analysis results over the epoch's delays. counts is nil and
+	// full is false in sampled-severity mode, and full is false for
+	// severities-only epochs (a later query needing counts upgrades
+	// the epoch at the same version).
+	sev       *tiv.EdgeSeverities
+	counts    *tiv.EdgeCounts
+	violating int64
+	triangles int64
+	full      bool
+}
+
+// fraction returns the epoch's exact violating-triangle fraction.
+func (e *epoch) fraction() float64 {
+	if e.triangles == 0 {
+		return 0
+	}
+	return float64(e.violating) / float64(e.triangles)
+}
+
+// fresh reports whether e still reflects both sources' current
+// versions. Source Version methods are safe for concurrent use (see
+// the DelaySource contract), so this runs on the lock-free path.
+func (s *Service) fresh(e *epoch) bool {
+	return e.qVersion == s.src.Version() && e.aVersion == s.asrc.Version()
+}
+
+// currentEpoch returns a fresh epoch, building one under the service
+// mutex only when the published epoch is stale (or lacks exact counts
+// a caller needs: needFull upgrades a severities-only epoch; sampled
+// services never have counts, so needFull is ignored there). ctx is
+// only consulted before a build — the O(N³) analysis itself is not
+// interruptible — and may be nil for Service methods without one.
+func (s *Service) currentEpoch(ctx context.Context, needFull bool) (*epoch, error) {
+	wantFull := needFull && s.opts.SampleThirdNodes == 0
+	if e := s.cur.Load(); e != nil && s.fresh(e) && (e.full || !wantFull) {
+		return e, nil
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.cur.Load(); e != nil && s.fresh(e) && (e.full || !wantFull) {
+		return e, nil
+	}
+	var e *epoch
+	if s.mon != nil {
+		e = s.buildMonitorEpochLocked()
+	} else {
+		e = s.buildEngineEpochLocked(wantFull)
+	}
+	s.cur.Store(e)
+	return e, nil
+}
+
+// nextSeqLocked allocates the next epoch sequence number.
+func (s *Service) nextSeqLocked() uint64 {
+	s.seqCounter++
+	return s.seqCounter
+}
+
+// buildMonitorEpochLocked snapshots the live monitor's current state:
+// matrix, severities, counts, and triangle total are deep-copied so
+// the epoch stays valid while the monitor keeps moving. Live epochs
+// are always full.
+func (s *Service) buildMonitorEpochLocked() *epoch {
+	a := s.mon.SnapshotAnalysis()
+	snap := s.mon.Matrix().Snapshot()
+	v := snap.Version()
+	return &epoch{
+		seq:       s.nextSeqLocked(),
+		qVersion:  v,
+		aVersion:  v,
+		q:         matrixSource{snap},
+		sev:       a.Severities,
+		counts:    a.Counts,
+		violating: a.ViolatingTriangles,
+		triangles: a.Triangles,
+		full:      true,
+	}
+}
+
+// buildEngineEpochLocked runs the batch engine over a frozen copy of
+// the analysis source. Matrix-backed sources are snapshotted (one
+// memcpy) and the analysis runs over the snapshot, so the published
+// severities can never disagree with the published delays; sources
+// without a backing matrix are materialized into reusable scratch
+// (the epoch ranks on the per-version-immutable source directly).
+func (s *Service) buildEngineEpochLocked(wantFull bool) *epoch {
+	qv := s.src.Version()
+	av := s.asrc.Version()
+	var q DelaySource = s.src
+	var am *delayspace.Matrix
+	if mb, ok := s.asrc.(matrixBacked); ok {
+		am = mb.backingMatrix().Snapshot()
+	}
+	if mb, ok := s.src.(matrixBacked); ok {
+		if s.asrc == s.src && am != nil {
+			q = matrixSource{am} // one shared snapshot: ranking == analysis delays
+		} else {
+			q = matrixSource{mb.backingMatrix().Snapshot()}
+		}
+	}
+	if am == nil {
+		am = s.materializeScratchLocked()
+	}
+	e := &epoch{seq: s.nextSeqLocked(), qVersion: qv, aVersion: av, q: q}
+	switch {
+	case s.opts.SampleThirdNodes > 0:
+		e.sev = s.eng.AllSeverities(am)
+	case wantFull:
+		a := s.eng.Analyze(am)
+		e.sev = a.Severities
+		e.counts = a.Counts
+		e.violating = a.ViolatingTriangles
+		e.triangles = a.Triangles
+		e.full = true
+	default:
+		// Severities-only epoch: the cheapest refresh (no count
+		// accumulators, no mirror pass). Upgraded on demand.
+		e.sev = s.eng.AllSeverities(am)
+	}
+	return e
+}
+
+// materializeScratchLocked fills (and caches, keyed on the analysis
+// source's version) the scratch matrix used to run the batch analysis
+// over sources that have no backing matrix. The scratch is never
+// retained by an epoch, so its storage is reused across builds.
+func (s *Service) materializeScratchLocked() *delayspace.Matrix {
+	if s.scratch == nil {
+		s.scratch = delayspace.New(s.asrc.N())
+	}
+	if v := s.asrc.Version(); !s.scratchOK || s.scratchV != v {
+		// The error is impossible: the scratch is allocated with
+		// asrc.N() nodes and sources have a fixed node count.
+		_ = materialize(s.scratch, s.asrc)
+		s.scratchV, s.scratchOK = v, true
+	}
+	return s.scratch
+}
+
+// View is one pinned epoch of a Service: an immutable, internally
+// consistent snapshot of delays and TIV analysis. All View reads are
+// lock-free, mutually consistent, and unaffected by later updates —
+// where repeated Service calls may each advance to a newer epoch, a
+// View answers every call from the same one. Views are cheap (no
+// copying; they share the epoch the service already published) and
+// safe for concurrent use.
+type View struct {
+	e *epoch
+	// sampled mirrors the owning service's severity mode, for
+	// error messages on exact-only calls.
+	sampled bool
+}
+
+// View returns a view pinned to the service's current epoch,
+// refreshing it first if the sources moved. Callers that need
+// several mutually consistent reads (delays plus severities, a rank
+// plus a detour) take one View and issue them all against it.
+func (s *Service) View(ctx context.Context) (*View, error) {
+	e, err := s.currentEpoch(ctx, true)
+	if err != nil {
+		return nil, err
+	}
+	return &View{e: e, sampled: s.opts.SampleThirdNodes > 0}, nil
+}
+
+// Seq returns the epoch sequence number: service-local, monotone
+// across epoch publishes.
+func (v *View) Seq() uint64 { return v.e.seq }
+
+// Version returns the primary-source version the view reflects.
+func (v *View) Version() uint64 { return v.e.qVersion }
+
+// N returns the node count.
+func (v *View) N() int { return v.e.q.N() }
+
+// Delay returns the view's frozen delay estimate for (i, j).
+func (v *View) Delay(i, j int) (float64, bool) { return v.e.q.Delay(i, j) }
+
+// Severities returns the view's per-edge TIV severities. The result
+// is immutable.
+func (v *View) Severities() *tiv.EdgeSeverities { return v.e.sev }
+
+// Analysis returns the view's exact analysis in the shape
+// tiv.Engine.Analyze produces. It errors in sampled mode.
+func (v *View) Analysis() (tiv.Analysis, error) {
+	if !v.e.full {
+		return tiv.Analysis{}, fmt.Errorf("tivaware: exact analysis unavailable on a sampled-severity view")
+	}
+	return tiv.Analysis{
+		Severities:         v.e.sev,
+		Counts:             v.e.counts,
+		ViolatingTriangles: v.e.violating,
+		Triangles:          v.e.triangles,
+	}, nil
+}
+
+// ViolatingTriangleFraction returns the view's exact violating
+// triangle fraction; 0 in sampled mode (use the Service method for
+// bounded estimates).
+func (v *View) ViolatingTriangleFraction() float64 { return v.e.fraction() }
+
+// TopEdges returns the k edges with the highest severity in this
+// view, most severe first.
+func (v *View) TopEdges(k int) []delayspace.Edge { return v.e.sev.TopEdges(k) }
+
+// Rank scores candidates against this view; see Service.Rank.
+func (v *View) Rank(ctx context.Context, target int, candidates []int, opts QueryOptions) ([]Selection, error) {
+	return rankEpoch(ctx, v.e, target, candidates, opts)
+}
+
+// KClosest returns the k best-ranked candidates in this view; see
+// Service.KClosest.
+func (v *View) KClosest(ctx context.Context, target, k int, opts QueryOptions) ([]Selection, error) {
+	return kClosestEpoch(ctx, v.e, target, k, opts)
+}
+
+// ClosestNode returns the best-ranked candidate in this view; see
+// Service.ClosestNode.
+func (v *View) ClosestNode(ctx context.Context, target int, opts QueryOptions) (Selection, error) {
+	return closestNodeEpoch(ctx, v.e, target, opts)
+}
+
+// DetourPath finds the best one-hop detour in this view; see
+// Service.DetourPath.
+func (v *View) DetourPath(ctx context.Context, i, j int) (Detour, error) {
+	return detourEpoch(ctx, v.e, i, j)
+}

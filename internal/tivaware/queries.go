@@ -7,7 +7,27 @@ import (
 	"sort"
 
 	"tivaware/internal/delayspace"
-	"tivaware/internal/tiv"
+)
+
+// Querier is the TIV-aware query surface: what a Service answers
+// in-process, a View answers against one pinned epoch, and a
+// tivclient.Client answers over the wire from a tivd daemon.
+// Consumers written against Querier (the examples, overlay builders)
+// run unchanged against any of the three.
+type Querier interface {
+	// Rank scores candidates for the target, best first.
+	Rank(ctx context.Context, target int, candidates []int, opts QueryOptions) ([]Selection, error)
+	// KClosest returns the k best-ranked candidates.
+	KClosest(ctx context.Context, target, k int, opts QueryOptions) ([]Selection, error)
+	// ClosestNode returns the best-ranked candidate.
+	ClosestNode(ctx context.Context, target int, opts QueryOptions) (Selection, error)
+	// DetourPath finds the best one-hop detour for the pair (i, j).
+	DetourPath(ctx context.Context, i, j int) (Detour, error)
+}
+
+var (
+	_ Querier = (*Service)(nil)
+	_ Querier = (*View)(nil)
 )
 
 // QueryOptions tunes one selection query. The zero value ranks purely
@@ -48,14 +68,32 @@ type Selection struct {
 	Score float64
 }
 
+// ctxPollMask bounds how often the O(N)/O(N²) scan loops poll
+// ctx.Err(): every 1024 iterations, cheap enough to disappear in the
+// scan and frequent enough that cancellation lands promptly.
+const ctxPollMask = 1023
+
 // Rank scores the given candidates for the target and returns them
 // best (lowest score) first. Candidates without a delay estimate to
-// the target are skipped; ties break by node id for determinism.
+// the target are skipped; ties break by node id for determinism. The
+// whole query runs against one epoch: delays, severities, and counts
+// are mutually consistent even while updates race.
 func (s *Service) Rank(ctx context.Context, target int, candidates []int, opts QueryOptions) ([]Selection, error) {
 	if err := checkCtx(ctx); err != nil {
 		return nil, err
 	}
-	if err := s.checkNode("target", target); err != nil {
+	e, err := s.currentEpoch(ctx, true)
+	if err != nil {
+		return nil, err
+	}
+	return rankEpoch(ctx, e, target, candidates, opts)
+}
+
+func rankEpoch(ctx context.Context, e *epoch, target int, candidates []int, opts QueryOptions) ([]Selection, error) {
+	if err := checkCtx(ctx); err != nil {
+		return nil, err
+	}
+	if err := e.checkNode("target", target); err != nil {
 		return nil, err
 	}
 	if candidates == nil {
@@ -63,7 +101,7 @@ func (s *Service) Rank(ctx context.Context, target int, candidates []int, opts Q
 	}
 	seen := make(map[int]bool, len(candidates))
 	for _, c := range candidates {
-		if err := s.checkNode("candidate", c); err != nil {
+		if err := e.checkNode("candidate", c); err != nil {
 			return nil, err
 		}
 		if seen[c] {
@@ -71,9 +109,10 @@ func (s *Service) Rank(ctx context.Context, target int, candidates []int, opts Q
 		}
 		seen[c] = true
 	}
+	n := e.q.N()
 	if candidates == nil {
-		all := make([]int, 0, s.N()-1)
-		for c := 0; c < s.N(); c++ {
+		all := make([]int, 0, n-1)
+		for c := 0; c < n; c++ {
 			if c != target {
 				all = append(all, c)
 			}
@@ -81,26 +120,9 @@ func (s *Service) Rank(ctx context.Context, target int, candidates []int, opts Q
 		candidates = all
 	}
 
-	// In exact mode the full analysis supplies both severities and
-	// counts from one (cached) pass; only sampled mode takes the
-	// severities-only estimator.
-	sampled := s.mon == nil && s.opts.SampleThirdNodes > 0
-	var sev *tiv.EdgeSeverities
-	var counts interface{ At(i, j int) int }
-	if sampled {
-		sev = s.severities()
-	} else {
-		a, err := s.full()
-		if err != nil {
-			return nil, err
-		}
-		sev = a.Severities
-		counts = a.Counts
-	}
-
 	out := make([]Selection, 0, len(candidates))
 	for k, c := range candidates {
-		if k&1023 == 0 {
+		if k&ctxPollMask == 0 {
 			if err := checkCtx(ctx); err != nil {
 				return nil, err
 			}
@@ -108,16 +130,16 @@ func (s *Service) Rank(ctx context.Context, target int, candidates []int, opts Q
 		if c == target {
 			continue
 		}
-		d, ok := s.src.Delay(target, c)
+		d, ok := e.q.Delay(target, c)
 		if !ok {
 			continue
 		}
-		sel := Selection{Node: c, Delay: d, Severity: sev.At(target, c), Violations: -1}
-		if sampled {
-			sel.Violated = sel.Severity > 0
-		} else {
-			sel.Violations = counts.At(target, c)
+		sel := Selection{Node: c, Delay: d, Severity: e.sev.At(target, c), Violations: -1}
+		if e.full {
+			sel.Violations = e.counts.At(target, c)
 			sel.Violated = sel.Violations > 0
+		} else {
+			sel.Violated = sel.Severity > 0
 		}
 		if opts.ExcludeViolated && sel.Violated {
 			continue
@@ -137,10 +159,21 @@ func (s *Service) Rank(ctx context.Context, target int, candidates []int, opts Q
 // KClosest returns the k best-ranked candidates for the target (all
 // nodes when opts.Candidates is nil), fewer when fewer qualify.
 func (s *Service) KClosest(ctx context.Context, target, k int, opts QueryOptions) ([]Selection, error) {
+	if err := checkCtx(ctx); err != nil {
+		return nil, err
+	}
+	e, err := s.currentEpoch(ctx, true)
+	if err != nil {
+		return nil, err
+	}
+	return kClosestEpoch(ctx, e, target, k, opts)
+}
+
+func kClosestEpoch(ctx context.Context, e *epoch, target, k int, opts QueryOptions) ([]Selection, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("tivaware: KClosest k = %d, want > 0", k)
 	}
-	ranked, err := s.Rank(ctx, target, opts.Candidates, opts)
+	ranked, err := rankEpoch(ctx, e, target, opts.Candidates, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -153,7 +186,18 @@ func (s *Service) KClosest(ctx context.Context, target, k int, opts QueryOptions
 // ClosestNode returns the best-ranked candidate for the target. It
 // errors when no candidate has a delay estimate (or all are excluded).
 func (s *Service) ClosestNode(ctx context.Context, target int, opts QueryOptions) (Selection, error) {
-	ranked, err := s.KClosest(ctx, target, 1, opts)
+	if err := checkCtx(ctx); err != nil {
+		return Selection{}, err
+	}
+	e, err := s.currentEpoch(ctx, true)
+	if err != nil {
+		return Selection{}, err
+	}
+	return closestNodeEpoch(ctx, e, target, opts)
+}
+
+func closestNodeEpoch(ctx context.Context, e *epoch, target int, opts QueryOptions) (Selection, error) {
+	ranked, err := kClosestEpoch(ctx, e, target, 1, opts)
 	if err != nil {
 		return Selection{}, err
 	}
@@ -199,31 +243,48 @@ func (s *Service) DetourPath(ctx context.Context, i, j int) (Detour, error) {
 	if err := checkCtx(ctx); err != nil {
 		return Detour{}, err
 	}
-	if err := s.checkNode("node", i); err != nil {
+	e, err := s.currentEpoch(ctx, false)
+	if err != nil {
 		return Detour{}, err
 	}
-	if err := s.checkNode("node", j); err != nil {
+	return detourEpoch(ctx, e, i, j)
+}
+
+func detourEpoch(ctx context.Context, e *epoch, i, j int) (Detour, error) {
+	if err := checkCtx(ctx); err != nil {
+		return Detour{}, err
+	}
+	if err := e.checkNode("node", i); err != nil {
+		return Detour{}, err
+	}
+	if err := e.checkNode("node", j); err != nil {
 		return Detour{}, err
 	}
 	if i == j {
 		return Detour{}, fmt.Errorf("tivaware: DetourPath on diagonal (%d,%d)", i, j)
 	}
 	d := Detour{I: i, J: j, Via: -1, Direct: delayspace.Missing}
-	direct, hasDirect := s.src.Delay(i, j)
+	direct, hasDirect := e.q.Delay(i, j)
 	if hasDirect {
 		d.Direct = direct
 	}
 	best := math.Inf(1)
 	bestVia := -1
-	for k := 0; k < s.src.N(); k++ {
+	n := e.q.N()
+	for k := 0; k < n; k++ {
+		if k&ctxPollMask == 0 && k > 0 {
+			if err := checkCtx(ctx); err != nil {
+				return Detour{}, err
+			}
+		}
 		if k == i || k == j {
 			continue
 		}
-		dik, ok := s.src.Delay(i, k)
+		dik, ok := e.q.Delay(i, k)
 		if !ok {
 			continue
 		}
-		dkj, ok := s.src.Delay(k, j)
+		dkj, ok := e.q.Delay(k, j)
 		if !ok {
 			continue
 		}

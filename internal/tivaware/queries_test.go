@@ -164,7 +164,8 @@ func TestDetourGainNeverNegative(t *testing.T) {
 
 func TestRankOrdersByDelay(t *testing.T) {
 	ctx := context.Background()
-	svc := newService(t, tivMatrix())
+	m := tivMatrix()
+	svc := newService(t, m)
 	ranked, err := svc.Rank(ctx, 0, nil, QueryOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -181,8 +182,8 @@ func TestRankOrdersByDelay(t *testing.T) {
 	}
 	// The violated edge carries its flag and exact count.
 	last := ranked[2]
-	if !last.Violated || last.Violations != tiv.ViolationCount(svc.m, 0, 1) || last.Violations < 1 {
-		t.Errorf("edge (0,1) selection = %+v, want violated with count %d", last, tiv.ViolationCount(svc.m, 0, 1))
+	if !last.Violated || last.Violations != tiv.ViolationCount(m, 0, 1) || last.Violations < 1 {
+		t.Errorf("edge (0,1) selection = %+v, want violated with count %d", last, tiv.ViolationCount(m, 0, 1))
 	}
 	if ranked[0].Violated {
 		t.Errorf("edge (0,2) flagged violated: %+v", ranked[0])
@@ -303,5 +304,40 @@ func TestRankContextCancellation(t *testing.T) {
 	cancel()
 	if _, err := svc.Rank(ctx, 0, nil, QueryOptions{}); err == nil {
 		t.Error("cancelled context should error")
+	}
+}
+
+// TestPreCancelledContext is the satellite regression test: every
+// context-taking query must return promptly — before doing any scan
+// work — when handed an already-cancelled context.
+func TestPreCancelledContext(t *testing.T) {
+	svc := newService(t, tivMatrix())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := svc.Rank(ctx, 0, nil, QueryOptions{}); err == nil {
+		t.Error("Rank ignored a pre-cancelled context")
+	}
+	if _, err := svc.KClosest(ctx, 0, 2, QueryOptions{}); err == nil {
+		t.Error("KClosest ignored a pre-cancelled context")
+	}
+	if _, err := svc.ClosestNode(ctx, 0, QueryOptions{}); err == nil {
+		t.Error("ClosestNode ignored a pre-cancelled context")
+	}
+	if _, err := svc.DetourPath(ctx, 0, 1); err == nil {
+		t.Error("DetourPath ignored a pre-cancelled context")
+	}
+	if _, err := svc.View(ctx); err == nil {
+		t.Error("View ignored a pre-cancelled context")
+	}
+	// The same pre-cancelled context against a pinned view.
+	v, err := svc.View(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Rank(ctx, 0, nil, QueryOptions{}); err == nil {
+		t.Error("View.Rank ignored a pre-cancelled context")
+	}
+	if _, err := v.DetourPath(ctx, 0, 1); err == nil {
+		t.Error("View.DetourPath ignored a pre-cancelled context")
 	}
 }

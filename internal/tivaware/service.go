@@ -3,6 +3,8 @@ package tivaware
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"tivaware/internal/delayspace"
 	"tivaware/internal/tiv"
@@ -49,7 +51,21 @@ type Options struct {
 // incrementally current; all others run the batch engine lazily,
 // re-analyzing only when the source's Version moves.
 //
-// A Service is not safe for concurrent use.
+// # Concurrency
+//
+// A Service is safe for concurrent use. State is published as
+// immutable epochs behind an atomic pointer (see epoch.go): queries
+// run lock-free against the current epoch from any number of
+// goroutines, while updates build the next epoch copy-on-write under
+// an internal mutex — there is no lock on the query hot path, so
+// query throughput scales with GOMAXPROCS. The remaining obligations
+// sit with the sources (see the DelaySource contract): mutate
+// matrix- or monitor-backed state through the service (ApplyUpdate /
+// ApplyBatch) or, if mutating it directly (out-of-band Matrix.Set,
+// ApplyUpdate on an adopted monitor, advancing a predictor before
+// Invalidate), do not run those mutations concurrently with service
+// calls — the version seam then picks the change up on the next
+// query.
 type Service struct {
 	src  DelaySource // ranking/detour delays
 	asrc DelaySource // severity-analysis delays (== src unless Options.AnalysisSource)
@@ -59,28 +75,47 @@ type Service struct {
 	mon *tiv.Monitor // incremental provider (Live / NewFromMonitor)
 	eng *tiv.Engine  // batch provider
 
-	// Batch-provider state: the matrix analyzed (the source's own
-	// matrix, or a materialized snapshot for predictor sources) and
-	// version-keyed caches.
-	m        *delayspace.Matrix
-	snapshot bool   // m is a materialized copy that tracks asrc.Version
-	snapOK   uint64 // asrc version the snapshot is materialized at
-	haveSnap bool
-	analysis tiv.Analysis
-	sev      tiv.EdgeSeverities
-	sevOK    uint64 // src version the severities-only cache is synced to
-	fullOK   uint64 // src version the full analysis is synced to
-	haveSev  bool
-	haveFull bool
+	// cur is the published epoch; nil until the first query. mu
+	// serializes epoch builds and all provider mutations (the engine
+	// and monitor are single-threaded by contract).
+	cur        atomic.Pointer[epoch]
+	mu         sync.Mutex
+	seqCounter uint64 // epoch sequence allocator; under mu
 
-	// Sampled/bounded fraction cache, keyed on (version, maxTriples).
-	fracVal  float64
-	fracOK   uint64
-	fracMax  int
-	haveFrac bool
+	// Scratch matrix for analysis sources without a backing matrix,
+	// materialized at most once per source version; under mu.
+	scratch   *delayspace.Matrix
+	scratchV  uint64
+	scratchOK bool
 
-	subs    map[int]func(tiv.ChangeSet)
+	// Sampled/bounded triangle-fraction cache, lock-free readable.
+	frac atomic.Pointer[fracCache]
+
+	// Subscriber registry, guarded by subMu — never held while a
+	// subscriber callback runs, so cancel (and Subscribe) are safe to
+	// call from inside one. nSubs mirrors len(subs) atomically so the
+	// per-update hook skips all delivery work when nobody listens.
+	subMu   sync.Mutex
+	subs    []subscriber
 	nextSub int
+	nSubs   atomic.Int32
+
+	// Monitor change sets recorded by the OnChange hook during a
+	// service-initiated apply (inApply set), delivered after mu is
+	// released; both under mu.
+	inApply bool
+	pending []tiv.ChangeSet
+}
+
+type subscriber struct {
+	id int
+	fn func(tiv.ChangeSet)
+}
+
+type fracCache struct {
+	aVersion   uint64
+	maxTriples int
+	val        float64
 }
 
 // New builds a Service over src. With Options.Live the source must be
@@ -97,7 +132,7 @@ func New(src DelaySource, opts Options) (*Service, error) {
 	if opts.Workers < 0 {
 		return nil, fmt.Errorf("tivaware: negative Workers %d", opts.Workers)
 	}
-	s := &Service{src: src, asrc: src, opts: opts, subs: make(map[int]func(tiv.ChangeSet))}
+	s := &Service{src: src, asrc: src, opts: opts}
 	if opts.AnalysisSource != nil {
 		if opts.Live {
 			return nil, fmt.Errorf("tivaware: AnalysisSource is incompatible with Live (a live service analyzes the matrix it monitors)")
@@ -116,24 +151,18 @@ func New(src DelaySource, opts Options) (*Service, error) {
 			return nil, fmt.Errorf("tivaware: Live mode requires a matrix-backed source, have %T", src)
 		}
 		s.mon = tiv.NewMonitor(ms.m, tiv.MonitorOptions{Workers: opts.Workers, JournalSize: opts.JournalSize})
-		s.mon.OnChange(s.fanout)
+		s.mon.OnChange(s.onMonitorChange)
 		return s, nil
 	}
 	switch t := s.asrc.(type) {
-	case matrixSource:
-		s.m = t.m
 	case monitorSource:
 		if s.asrc == s.src {
 			// The monitor already maintains the analysis; adopt it as
 			// the provider rather than re-scanning its matrix.
 			s.mon = t.mon
-			t.mon.OnChange(s.fanout)
+			t.mon.OnChange(s.onMonitorChange)
 			return s, nil
 		}
-		s.m = t.mon.Matrix()
-	default:
-		s.m = delayspace.New(s.asrc.N())
-		s.snapshot = true
 	}
 	s.eng = tiv.NewEngine(tiv.Options{
 		Workers:          opts.Workers,
@@ -150,7 +179,10 @@ func NewFromMatrix(m *delayspace.Matrix, opts Options) (*Service, error) {
 
 // NewFromMonitor adopts an existing live monitor as the severity
 // provider: the service stays current as updates are applied to the
-// monitor, and Subscribe delivers its violated-edge deltas.
+// monitor, and Subscribe delivers its violated-edge deltas. Direct
+// monitor mutations must not run concurrently with service calls
+// (route them through Service.ApplyUpdate for that); their change
+// sets are delivered on the mutating goroutine.
 func NewFromMonitor(mon *tiv.Monitor, opts Options) (*Service, error) {
 	if mon == nil {
 		return nil, fmt.Errorf("tivaware: nil monitor")
@@ -172,79 +204,159 @@ func (s *Service) Source() DelaySource { return s.src }
 // monitor.
 func (s *Service) Live() bool { return s.mon != nil }
 
-// Delay returns the source's delay estimate for (i, j).
-func (s *Service) Delay(i, j int) (float64, bool) { return s.src.Delay(i, j) }
+// Delay returns the delay estimate for (i, j) as of the current
+// epoch.
+func (s *Service) Delay(i, j int) (float64, bool) {
+	e, _ := s.currentEpoch(nil, false)
+	return e.q.Delay(i, j)
+}
 
-// fanout delivers one monitor change set to every subscriber.
+// onMonitorChange is the single hook the service registers on its
+// monitor. For service-initiated updates (ApplyUpdate/ApplyBatch hold
+// mu and set inApply) change sets are queued and delivered after the
+// mutex is released; a mutation applied directly to an adopted
+// monitor delivers on the mutating goroutine immediately — the epoch
+// itself refreshes lazily, keyed on the matrix version.
+func (s *Service) onMonitorChange(cs tiv.ChangeSet) {
+	if s.nSubs.Load() == 0 {
+		return
+	}
+	if s.inApply {
+		s.pending = append(s.pending, cs)
+		return
+	}
+	s.fanout(cs)
+}
+
+// finishApply closes one service-initiated monitor mutation: takes
+// the change sets the hook queued, releases the mutex, and delivers
+// them in order. Kept free of closures and allocations — the monitor
+// delta itself is ~µs, so per-update overhead matters.
+func (s *Service) finishApply() []tiv.ChangeSet {
+	s.inApply = false
+	pend := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+	return pend
+}
+
+// ApplyUpdate streams one edge measurement into a live service: the
+// matrix mutates and the analysis is re-established incrementally in
+// O(N). The next query (including one issued from a subscriber
+// callback) observes the post-update epoch. It errors on
+// batch-provider services.
+func (s *Service) ApplyUpdate(i, j int, rtt float64) (tiv.ChangeSet, error) {
+	if s.mon == nil {
+		return tiv.ChangeSet{}, fmt.Errorf("tivaware: ApplyUpdate requires a live service (Options.Live or NewFromMonitor)")
+	}
+	s.mu.Lock()
+	s.inApply = true
+	cs, err := s.mon.ApplyUpdate(i, j, rtt)
+	for _, p := range s.finishApply() {
+		s.fanout(p)
+	}
+	if err != nil {
+		return tiv.ChangeSet{}, err
+	}
+	return cs, nil
+}
+
+// ApplyBatch streams a batch of edge measurements into a live service.
+func (s *Service) ApplyBatch(updates []tiv.Update) (tiv.ChangeSet, error) {
+	if s.mon == nil {
+		return tiv.ChangeSet{}, fmt.Errorf("tivaware: ApplyBatch requires a live service (Options.Live or NewFromMonitor)")
+	}
+	s.mu.Lock()
+	s.inApply = true
+	cs, err := s.mon.ApplyBatch(updates)
+	for _, p := range s.finishApply() {
+		s.fanout(p)
+	}
+	if err != nil {
+		return tiv.ChangeSet{}, err
+	}
+	return cs, nil
+}
+
+// Subscribe registers fn to receive violated-edge change deltas after
+// every applied update whose ChangeSet is non-empty (and after every
+// rescan). Subscriptions require a live service.
+//
+// Delivery guarantee: callbacks run synchronously on the updating
+// goroutine, after the mutation is fully applied — a query issued
+// from inside a callback observes the post-update state. Each
+// subscriber receives each non-empty ChangeSet exactly once, in apply
+// order for updates applied from one goroutine; when updates race,
+// the relative delivery order of their change sets is unspecified.
+// The returned cancel function is safe to call at any time, including
+// from inside a callback (its own or another subscriber's): it stops
+// deliveries for subsequent change sets, but a delivery already in
+// flight may still invoke the cancelled subscriber once.
+func (s *Service) Subscribe(fn func(tiv.ChangeSet)) (cancel func(), err error) {
+	if s.mon == nil {
+		return nil, fmt.Errorf("tivaware: Subscribe requires a live service (Options.Live or NewFromMonitor)")
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("tivaware: nil subscriber")
+	}
+	s.subMu.Lock()
+	id := s.nextSub
+	s.nextSub++
+	s.subs = append(s.subs, subscriber{id: id, fn: fn})
+	s.nSubs.Store(int32(len(s.subs)))
+	s.subMu.Unlock()
+	return func() {
+		s.subMu.Lock()
+		for k, sub := range s.subs {
+			if sub.id == id {
+				s.subs = append(s.subs[:k], s.subs[k+1:]...)
+				s.nSubs.Store(int32(len(s.subs)))
+				break
+			}
+		}
+		s.subMu.Unlock()
+	}, nil
+}
+
+// fanout delivers one change set to every subscriber registered at
+// delivery time. The registry lock is released before any callback
+// runs, so callbacks may subscribe, cancel, query, or apply updates.
 func (s *Service) fanout(cs tiv.ChangeSet) {
-	for _, fn := range s.subs {
+	s.subMu.Lock()
+	fns := make([]func(tiv.ChangeSet), len(s.subs))
+	for k := range s.subs {
+		fns[k] = s.subs[k].fn
+	}
+	s.subMu.Unlock()
+	for _, fn := range fns {
 		fn(cs)
 	}
 }
 
-// refreshSnapshot re-materializes the analysis matrix for sources
-// without a backing matrix, at most once per source version.
-func (s *Service) refreshSnapshot() {
-	if !s.snapshot {
-		return
-	}
-	if v := s.asrc.Version(); !s.haveSnap || s.snapOK != v {
-		// Ignore the error: the snapshot is allocated with asrc.N()
-		// nodes at construction and sources have a fixed node count.
-		_ = materialize(s.m, s.asrc)
-		s.snapOK, s.haveSnap = v, true
-	}
-}
-
-// severities returns the current per-edge severities, recomputing only
-// when the source version moved. This is the cheapest refresh: it runs
-// the severities-only kernel and leaves violation counts to callers
-// that need them (see full).
-func (s *Service) severities() *tiv.EdgeSeverities {
-	if s.mon != nil {
-		return s.mon.Severities()
-	}
-	v := s.asrc.Version()
-	if s.haveFull && s.fullOK == v {
-		return s.analysis.Severities
-	}
-	if !s.haveSev || s.sevOK != v {
-		s.refreshSnapshot()
-		s.eng.AllSeveritiesInto(&s.sev, s.m)
-		s.sevOK = v
-		s.haveSev = true
-	}
-	return &s.sev
-}
-
-// full returns the complete current analysis (severities, violation
-// counts, violating-triangle total), recomputing only when the source
-// version moved. It returns an error in sampled mode, where exact
-// counts are not computed.
-func (s *Service) full() (tiv.Analysis, error) {
-	if s.mon != nil {
-		return s.mon.Analysis(), nil
-	}
-	if s.opts.SampleThirdNodes > 0 {
-		return tiv.Analysis{}, fmt.Errorf("tivaware: exact analysis unavailable with SampleThirdNodes = %d", s.opts.SampleThirdNodes)
-	}
-	if v := s.asrc.Version(); !s.haveFull || s.fullOK != v {
-		s.refreshSnapshot()
-		s.analysis = s.eng.AnalyzeInto(s.analysis, s.m)
-		s.fullOK = v
-		s.haveFull = true
-	}
-	return s.analysis, nil
-}
-
 // Severities returns the current per-edge TIV severities (exact or
-// sampled per Options), kept current with the source. The returned
-// view is valid until the next service call.
-func (s *Service) Severities() *tiv.EdgeSeverities { return s.severities() }
+// sampled per Options), kept current with the source. The result is
+// an immutable epoch snapshot: it remains valid — and unchanged —
+// after later updates.
+func (s *Service) Severities() *tiv.EdgeSeverities {
+	e, _ := s.currentEpoch(nil, false)
+	return e.sev
+}
 
 // Analysis returns the current exact analysis in the shape
-// tiv.Engine.Analyze produces. It errors in sampled mode.
-func (s *Service) Analysis() (tiv.Analysis, error) { return s.full() }
+// tiv.Engine.Analyze produces, as an immutable epoch snapshot. It
+// errors in sampled mode.
+func (s *Service) Analysis() (tiv.Analysis, error) {
+	if s.mon == nil && s.opts.SampleThirdNodes > 0 {
+		return tiv.Analysis{}, fmt.Errorf("tivaware: exact analysis unavailable with SampleThirdNodes = %d", s.opts.SampleThirdNodes)
+	}
+	e, _ := s.currentEpoch(nil, true)
+	return tiv.Analysis{
+		Severities:         e.sev,
+		Counts:             e.counts,
+		ViolatingTriangles: e.violating,
+		Triangles:          e.triangles,
+	}, nil
+}
 
 // ViolatingTriangleFraction returns the fraction of node triples
 // violating the triangle inequality. Live services report the exact,
@@ -253,77 +365,49 @@ func (s *Service) Analysis() (tiv.Analysis, error) { return s.full() }
 // are sampled), that many triples are sampled uniformly instead of
 // counted exactly; maxTriples <= 0 forces the exact count.
 func (s *Service) ViolatingTriangleFraction(maxTriples int) float64 {
-	if s.mon != nil {
-		return s.mon.ViolatingTriangleFraction()
-	}
-	v := s.asrc.Version()
-	if s.haveFull && s.fullOK == v {
-		return s.analysis.ViolatingTriangleFraction()
-	}
-	if s.opts.SampleThirdNodes > 0 || maxTriples > 0 {
-		if s.haveFrac && s.fracOK == v && s.fracMax == maxTriples {
-			return s.fracVal
+	if s.mon == nil && (s.opts.SampleThirdNodes > 0 || maxTriples > 0) {
+		// A current full epoch already carries the exact count.
+		if e := s.cur.Load(); e != nil && e.full && s.fresh(e) {
+			return e.fraction()
 		}
-		s.refreshSnapshot()
-		s.fracVal = s.eng.ViolatingTriangleFraction(s.m, maxTriples)
-		s.fracOK, s.fracMax, s.haveFrac = v, maxTriples, true
-		return s.fracVal
+		av := s.asrc.Version()
+		if fc := s.frac.Load(); fc != nil && fc.aVersion == av && fc.maxTriples == maxTriples {
+			return fc.val
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		av = s.asrc.Version()
+		if fc := s.frac.Load(); fc != nil && fc.aVersion == av && fc.maxTriples == maxTriples {
+			return fc.val
+		}
+		var m *delayspace.Matrix
+		if mb, ok := s.asrc.(matrixBacked); ok {
+			m = mb.backingMatrix()
+		} else {
+			m = s.materializeScratchLocked()
+		}
+		val := s.eng.ViolatingTriangleFraction(m, maxTriples)
+		s.frac.Store(&fracCache{aVersion: av, maxTriples: maxTriples, val: val})
+		return val
 	}
-	a, err := s.full()
-	if err != nil {
+	e, _ := s.currentEpoch(nil, true)
+	if !e.full {
 		return 0
 	}
-	return a.ViolatingTriangleFraction()
+	return e.fraction()
 }
 
 // TopEdges returns the k edges with the highest current severity,
 // most severe first.
 func (s *Service) TopEdges(k int) []delayspace.Edge {
-	if s.mon != nil {
-		return s.mon.TopEdges(k)
-	}
-	return s.severities().TopEdges(k)
+	e, _ := s.currentEpoch(nil, false)
+	return e.sev.TopEdges(k)
 }
 
-// ApplyUpdate streams one edge measurement into a live service:
-// the matrix mutates and the analysis is re-established incrementally
-// in O(N). It errors on batch-provider services.
-func (s *Service) ApplyUpdate(i, j int, rtt float64) (tiv.ChangeSet, error) {
-	if s.mon == nil {
-		return tiv.ChangeSet{}, fmt.Errorf("tivaware: ApplyUpdate requires a live service (Options.Live or NewFromMonitor)")
-	}
-	return s.mon.ApplyUpdate(i, j, rtt)
-}
-
-// ApplyBatch streams a batch of edge measurements into a live service.
-func (s *Service) ApplyBatch(updates []tiv.Update) (tiv.ChangeSet, error) {
-	if s.mon == nil {
-		return tiv.ChangeSet{}, fmt.Errorf("tivaware: ApplyBatch requires a live service (Options.Live or NewFromMonitor)")
-	}
-	return s.mon.ApplyBatch(updates)
-}
-
-// Subscribe registers fn to receive violated-edge change deltas after
-// every applied update whose ChangeSet is non-empty (and after every
-// rescan). Multiple subscribers are supported; the returned cancel
-// function removes this one. Subscriptions require a live service.
-func (s *Service) Subscribe(fn func(tiv.ChangeSet)) (cancel func(), err error) {
-	if s.mon == nil {
-		return nil, fmt.Errorf("tivaware: Subscribe requires a live service (Options.Live or NewFromMonitor)")
-	}
-	if fn == nil {
-		return nil, fmt.Errorf("tivaware: nil subscriber")
-	}
-	id := s.nextSub
-	s.nextSub++
-	s.subs[id] = fn
-	return func() { delete(s.subs, id) }, nil
-}
-
-// checkNode validates a node index.
-func (s *Service) checkNode(what string, i int) error {
-	if i < 0 || i >= s.src.N() {
-		return fmt.Errorf("tivaware: %s %d out of range [0,%d)", what, i, s.src.N())
+// checkNode validates a node index against an epoch.
+func (e *epoch) checkNode(what string, i int) error {
+	if i < 0 || i >= e.q.N() {
+		return fmt.Errorf("tivaware: %s %d out of range [0,%d)", what, i, e.q.N())
 	}
 	return nil
 }

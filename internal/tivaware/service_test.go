@@ -305,3 +305,119 @@ func (p matrixPredictor) Predict(i, j int) float64 {
 	}
 	return 0
 }
+
+// TestUnsubscribeDuringFanout is the satellite regression test: a
+// cancel issued from inside a subscriber callback — its own or
+// another subscriber's — must be safe, take effect for subsequent
+// change sets, and never deadlock. A delivery already in flight may
+// still reach the cancelled subscriber once (the documented
+// guarantee).
+func TestUnsubscribeDuringFanout(t *testing.T) {
+	m := triangleMatrix()
+	svc, err := NewFromMatrix(m, Options{Live: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var selfCount, otherCount int
+	var cancelSelf, cancelOther func()
+	// Subscriber A cancels itself and subscriber B from within its
+	// first delivery.
+	cancelSelf, err = svc.Subscribe(func(cs tiv.ChangeSet) {
+		selfCount++
+		cancelSelf()
+		cancelOther()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelOther, err = svc.Subscribe(func(cs tiv.ChangeSet) { otherCount++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip edge (0,1) into violation: one non-empty ChangeSet.
+	if _, err := svc.ApplyUpdate(0, 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if selfCount != 1 {
+		t.Fatalf("self-cancelling subscriber fired %d times, want 1", selfCount)
+	}
+	firstOther := otherCount // in-flight delivery may or may not have reached B
+	if firstOther > 1 {
+		t.Fatalf("cancelled subscriber fired %d times during one fan-out", firstOther)
+	}
+	// Clear the violation: another non-empty ChangeSet; neither
+	// cancelled subscriber may receive it.
+	if _, err := svc.ApplyUpdate(0, 1, 15); err != nil {
+		t.Fatal(err)
+	}
+	if selfCount != 1 || otherCount != firstOther {
+		t.Errorf("cancelled subscribers still notified: self %d (want 1), other %d (want %d)",
+			selfCount, otherCount, firstOther)
+	}
+	// Cancelling twice is harmless.
+	cancelSelf()
+	cancelOther()
+}
+
+// TestSubscriberQueriesSeePostUpdateState pins the delivery
+// guarantee: a query issued from inside a callback observes the
+// post-update epoch.
+func TestSubscriberQueriesSeePostUpdateState(t *testing.T) {
+	m := triangleMatrix()
+	svc, err := NewFromMatrix(m, Options{Live: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawViolation bool
+	if _, err := svc.Subscribe(func(cs tiv.ChangeSet) {
+		an, err := svc.Analysis()
+		if err != nil {
+			t.Errorf("Analysis from callback: %v", err)
+			return
+		}
+		sawViolation = an.ViolatingTriangles == 1
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.ApplyUpdate(0, 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !sawViolation {
+		t.Error("callback query observed the pre-update epoch")
+	}
+}
+
+// TestSubscribeFromCallback checks new subscriptions registered
+// during a fan-out miss the in-flight delivery but receive later
+// ones.
+func TestSubscribeFromCallback(t *testing.T) {
+	m := triangleMatrix()
+	svc, err := NewFromMatrix(m, Options{Live: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var late int
+	registered := false
+	if _, err := svc.Subscribe(func(cs tiv.ChangeSet) {
+		if !registered {
+			registered = true
+			if _, err := svc.Subscribe(func(tiv.ChangeSet) { late++ }); err != nil {
+				t.Errorf("Subscribe from callback: %v", err)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.ApplyUpdate(0, 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if late != 0 {
+		t.Errorf("late subscriber saw the in-flight delivery (%d)", late)
+	}
+	if _, err := svc.ApplyUpdate(0, 1, 15); err != nil {
+		t.Fatal(err)
+	}
+	if late != 1 {
+		t.Errorf("late subscriber saw %d deliveries, want 1", late)
+	}
+}

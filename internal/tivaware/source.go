@@ -21,6 +21,7 @@ package tivaware
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"tivaware/internal/delayspace"
 	"tivaware/internal/tiv"
@@ -32,6 +33,15 @@ import (
 //
 // Implementations must be cheap to query: Delay is called O(N) times
 // per selection and O(N) times per detour query.
+//
+// Concurrency contract: a Service is safe for concurrent use, and it
+// relies on its sources for that. Version must be safe to call at any
+// time (the lock-free query path polls it), N must be constant, and
+// the delays must be immutable between Version changes — matrix- and
+// monitor-backed sources get this from the atomic matrix version plus
+// epoch snapshotting; predictor sources must not advance the
+// underlying embedding between Invalidate calls while the service is
+// in use.
 type DelaySource interface {
 	// N returns the number of nodes.
 	N() int
@@ -67,6 +77,14 @@ func (s matrixSource) Delay(i, j int) (float64, bool) {
 
 func (s matrixSource) Version() uint64 { return s.m.Version() }
 
+// matrixBacked is satisfied by sources whose delays live in a
+// delayspace.Matrix the service can snapshot for an epoch.
+type matrixBacked interface {
+	backingMatrix() *delayspace.Matrix
+}
+
+func (s matrixSource) backingMatrix() *delayspace.Matrix { return s.m }
+
 // Predictor estimates the delay between two nodes. vivaldi.System,
 // ides.System, lat.Predictor and the dynamic-neighbor snapshots all
 // satisfy it.
@@ -77,16 +95,20 @@ type Predictor interface {
 // PredictorSource adapts a coordinate predictor to the DelaySource
 // seam. Predictors are snapshots: the source reports a constant
 // version until Invalidate is called (after the underlying embedding
-// has been advanced).
+// has been advanced). Invalidate is safe to call while other
+// goroutines query; advancing the embedding itself concurrently with
+// queries is not (see the DelaySource concurrency contract).
 type PredictorSource struct {
 	p       Predictor
 	n       int
-	version uint64
+	version atomic.Uint64
 }
 
 // FromPredictor wraps a delay predictor over n nodes.
 func FromPredictor(p Predictor, n int) *PredictorSource {
-	return &PredictorSource{p: p, n: n, version: 1}
+	s := &PredictorSource{p: p, n: n}
+	s.version.Store(1)
+	return s
 }
 
 // N implements DelaySource.
@@ -107,11 +129,11 @@ func (s *PredictorSource) Delay(i, j int) (float64, bool) {
 }
 
 // Version implements DelaySource.
-func (s *PredictorSource) Version() uint64 { return s.version }
+func (s *PredictorSource) Version() uint64 { return s.version.Load() }
 
 // Invalidate marks the predictor's state as changed, forcing services
 // built on this source to re-analyze on their next query.
-func (s *PredictorSource) Invalidate() { s.version++ }
+func (s *PredictorSource) Invalidate() { s.version.Add(1) }
 
 // monitorSource adapts a live tiv.Monitor: delays come from the
 // monitor's matrix, and the version follows the matrix so analyses
@@ -129,6 +151,8 @@ func (s monitorSource) Delay(i, j int) (float64, bool) {
 }
 
 func (s monitorSource) Version() uint64 { return s.mon.Matrix().Version() }
+
+func (s monitorSource) backingMatrix() *delayspace.Matrix { return s.mon.Matrix() }
 
 // materialize fills dst (an N×N matrix) from src, used when a service
 // must run the batch analysis over a source that has no backing

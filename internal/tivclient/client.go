@@ -1,0 +1,369 @@
+// Package tivclient is the Go client for the tivd daemon: the same
+// TIV-aware query shapes the in-process tivaware.Service answers —
+// severity-penalized ranking, closest-node selection, one-hop detour
+// discovery, worst-edge listing, and violated-edge change
+// subscriptions — resolved over HTTP/JSON against a remote daemon.
+//
+// Client satisfies tivaware.Querier, so consumers written against the
+// interface (examples/serverselection, overlay builders) switch
+// between in-process and networked TIV state by swapping one value:
+//
+//	q := tivclient.New("http://tivd-host:7070", tivclient.Options{})
+//	best, err := q.ClosestNode(ctx, target, tivaware.QueryOptions{SeverityPenalty: 2})
+//
+// A Client is safe for concurrent use; it holds no state beyond the
+// base URL and the underlying *http.Client.
+package tivclient
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"tivaware/internal/delayspace"
+	"tivaware/internal/tivaware"
+	"tivaware/internal/tivwire"
+)
+
+// Options configures a Client. The zero value is valid.
+type Options struct {
+	// HTTPClient overrides the transport; nil means
+	// http.DefaultClient. Subscribe requires a client without a
+	// global timeout (streams are long-lived); plain queries are
+	// bounded by their context either way.
+	HTTPClient *http.Client
+}
+
+// Client talks to one tivd daemon.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+var _ tivaware.Querier = (*Client)(nil)
+
+// New builds a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:7070", no trailing slash required).
+func New(baseURL string, opts Options) *Client {
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
+}
+
+// get issues one GET and decodes the JSON response into out.
+func (c *Client) get(ctx context.Context, path string, params url.Values, out any) error {
+	u := c.base + path
+	if len(params) > 0 {
+		u += "?" + params.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return fmt.Errorf("tivclient: %w", err)
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("tivclient: encoding request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("tivclient: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("tivclient: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("tivclient: reading response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var we tivwire.Error
+		if json.Unmarshal(body, &we) == nil && we.Error != "" {
+			return fmt.Errorf("tivclient: %s %s: %s", req.Method, req.URL.Path, we.Error)
+		}
+		return fmt.Errorf("tivclient: %s %s: HTTP %d", req.Method, req.URL.Path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("tivclient: decoding response: %w", err)
+	}
+	return nil
+}
+
+// BaseURL returns the daemon base URL the client was built with.
+func (c *Client) BaseURL() string { return c.base }
+
+// Healthz returns the daemon's health (node count, live flag, epoch
+// and version counters).
+func (c *Client) Healthz(ctx context.Context) (tivwire.Health, error) {
+	var h tivwire.Health
+	err := c.get(ctx, "/healthz", nil, &h)
+	return h, err
+}
+
+// selectionParams encodes the shared selection parameters.
+func selectionParams(candidates []int, opts tivaware.QueryOptions) url.Values {
+	params := url.Values{}
+	if opts.SeverityPenalty != 0 {
+		params.Set("penalty", strconv.FormatFloat(opts.SeverityPenalty, 'g', -1, 64))
+	}
+	if opts.ExcludeViolated {
+		params.Set("exclude", "true")
+	}
+	if candidates == nil {
+		candidates = opts.Candidates
+	}
+	if candidates != nil {
+		fields := make([]string, len(candidates))
+		for k, cand := range candidates {
+			fields[k] = strconv.Itoa(cand)
+		}
+		params.Set("candidates", strings.Join(fields, ","))
+	}
+	return params
+}
+
+// emptyCandidates reports an explicitly empty candidate set. The wire
+// cannot distinguish "no candidates parameter" from "an empty one"
+// (the daemon treats an absent parameter as all nodes), so the client
+// reproduces the Service's empty-set semantics locally: nothing to
+// rank.
+func emptyCandidates(candidates []int, opts tivaware.QueryOptions) bool {
+	if candidates == nil {
+		candidates = opts.Candidates
+	}
+	return candidates != nil && len(candidates) == 0
+}
+
+// Rank scores the candidates for the target, best first; it mirrors
+// tivaware.Service.Rank over the wire. It errors when the daemon
+// truncated the ranking at its configured cap (4096 selections by
+// default; raise tivd -maxk, or use KClosest for a bounded prefix).
+func (c *Client) Rank(ctx context.Context, target int, candidates []int, opts tivaware.QueryOptions) ([]tivaware.Selection, error) {
+	if emptyCandidates(candidates, opts) {
+		return nil, nil
+	}
+	params := selectionParams(candidates, opts)
+	params.Set("target", strconv.Itoa(target))
+	var resp tivwire.RankResponse
+	if err := c.get(ctx, "/v1/rank", params, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Truncated {
+		return nil, fmt.Errorf("tivclient: ranking for node %d truncated at %d selections by the daemon's cap; raise tivd -maxk or use KClosest", target, len(resp.Selections))
+	}
+	out := make([]tivaware.Selection, len(resp.Selections))
+	for k, sel := range resp.Selections {
+		out[k] = sel.ToSelection()
+	}
+	return out, nil
+}
+
+// KClosest returns the k best-ranked candidates for the target.
+func (c *Client) KClosest(ctx context.Context, target, k int, opts tivaware.QueryOptions) ([]tivaware.Selection, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("tivclient: KClosest k = %d, want > 0", k)
+	}
+	if emptyCandidates(nil, opts) {
+		return nil, nil
+	}
+	params := selectionParams(nil, opts)
+	params.Set("target", strconv.Itoa(target))
+	params.Set("k", strconv.Itoa(k))
+	var resp tivwire.RankResponse
+	if err := c.get(ctx, "/v1/rank", params, &resp); err != nil {
+		return nil, err
+	}
+	out := make([]tivaware.Selection, len(resp.Selections))
+	for i, sel := range resp.Selections {
+		out[i] = sel.ToSelection()
+	}
+	return out, nil
+}
+
+// ClosestNode returns the best-ranked candidate for the target.
+func (c *Client) ClosestNode(ctx context.Context, target int, opts tivaware.QueryOptions) (tivaware.Selection, error) {
+	if emptyCandidates(nil, opts) {
+		return tivaware.Selection{}, fmt.Errorf("tivclient: no eligible candidate for node %d", target)
+	}
+	params := selectionParams(nil, opts)
+	params.Set("target", strconv.Itoa(target))
+	var resp tivwire.RankResponse
+	if err := c.get(ctx, "/v1/closest", params, &resp); err != nil {
+		return tivaware.Selection{}, err
+	}
+	if len(resp.Selections) == 0 {
+		return tivaware.Selection{}, fmt.Errorf("tivclient: empty closest response")
+	}
+	return resp.Selections[0].ToSelection(), nil
+}
+
+// DetourPath finds the best one-hop detour for the pair (i, j).
+func (c *Client) DetourPath(ctx context.Context, i, j int) (tivaware.Detour, error) {
+	params := url.Values{}
+	params.Set("i", strconv.Itoa(i))
+	params.Set("j", strconv.Itoa(j))
+	var resp tivwire.DetourResponse
+	if err := c.get(ctx, "/v1/detour", params, &resp); err != nil {
+		return tivaware.Detour{}, err
+	}
+	return resp.Detour.ToDetour(), nil
+}
+
+// TopEdges returns the k edges with the highest current severity,
+// most severe first (severity in the Delay field, matching
+// tivaware.Service.TopEdges).
+func (c *Client) TopEdges(ctx context.Context, k int) ([]delayspace.Edge, error) {
+	params := url.Values{}
+	params.Set("k", strconv.Itoa(k))
+	var resp tivwire.TopResponse
+	if err := c.get(ctx, "/v1/top", params, &resp); err != nil {
+		return nil, err
+	}
+	return tivwire.ToEdges(resp.Edges), nil
+}
+
+// Delay returns the daemon's delay estimate for (i, j) and whether
+// one exists.
+func (c *Client) Delay(ctx context.Context, i, j int) (float64, bool, error) {
+	params := url.Values{}
+	params.Set("i", strconv.Itoa(i))
+	params.Set("j", strconv.Itoa(j))
+	var resp tivwire.DelayResponse
+	if err := c.get(ctx, "/v1/delay", params, &resp); err != nil {
+		return 0, false, err
+	}
+	return resp.Delay, resp.OK, nil
+}
+
+// Analysis returns the daemon's aggregate triangle statistics.
+func (c *Client) Analysis(ctx context.Context) (tivwire.AnalysisResponse, error) {
+	var resp tivwire.AnalysisResponse
+	err := c.get(ctx, "/v1/analysis", nil, &resp)
+	return resp, err
+}
+
+// ApplyUpdate streams one edge measurement into a live daemon and
+// returns how the violated-edge set moved.
+func (c *Client) ApplyUpdate(ctx context.Context, i, j int, rtt float64) (tivwire.ChangeSet, error) {
+	return c.ApplyBatch(ctx, []tivwire.Update{{I: i, J: j, RTT: rtt}})
+}
+
+// ApplyBatch streams a batch of edge measurements into a live daemon.
+func (c *Client) ApplyBatch(ctx context.Context, updates []tivwire.Update) (tivwire.ChangeSet, error) {
+	var resp tivwire.ChangeSet
+	err := c.post(ctx, "/v1/update", tivwire.UpdateRequest{Updates: updates}, &resp)
+	return resp, err
+}
+
+// Subscribe opens the daemon's SSE stream and invokes fn for every
+// violated-edge change set until ctx is cancelled or the stream ends.
+// It returns nil after a cancellation, an error for any transport or
+// protocol failure — including the daemon disconnecting a subscriber
+// that fell behind its event buffer (resync from TopEdges and
+// resubscribe in that case). ready, if non-nil, is closed once the
+// subscription handshake completes, i.e. fn will observe every change
+// set applied after that point.
+func (c *Client) Subscribe(ctx context.Context, ready chan<- struct{}, fn func(tivwire.ChangeSet)) error {
+	if fn == nil {
+		return fmt.Errorf("tivclient: nil subscriber")
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/subscribe", nil)
+	if err != nil {
+		return fmt.Errorf("tivclient: %w", err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil
+		}
+		return fmt.Errorf("tivclient: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		var we tivwire.Error
+		if json.Unmarshal(body, &we) == nil && we.Error != "" {
+			return fmt.Errorf("tivclient: subscribe: %s", we.Error)
+		}
+		return fmt.Errorf("tivclient: subscribe: HTTP %d", resp.StatusCode)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	event := ""
+	var data strings.Builder
+	first := true
+	dispatch := func() error {
+		defer func() { event = ""; data.Reset() }()
+		switch event {
+		case "changeset":
+			var cs tivwire.ChangeSet
+			if err := json.Unmarshal([]byte(data.String()), &cs); err != nil {
+				return fmt.Errorf("tivclient: decoding changeset event: %w", err)
+			}
+			fn(cs)
+		case "overflow":
+			return fmt.Errorf("tivclient: subscription fell behind the daemon's event buffer; resync and resubscribe")
+		}
+		return nil
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		if first {
+			// The handshake comment is the first frame the daemon
+			// flushes; anything readable at all means we are attached.
+			first = false
+			if ready != nil {
+				close(ready)
+				ready = nil
+			}
+		}
+		switch {
+		case line == "":
+			if err := dispatch(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(line, ":"):
+			// comment / heartbeat
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			if data.Len() > 0 {
+				data.WriteByte('\n')
+			}
+			data.WriteString(strings.TrimSpace(strings.TrimPrefix(line, "data:")))
+		}
+		// id: lines are informational (the monitor version already
+		// travels in the payload).
+	}
+	if ctx.Err() != nil {
+		return nil
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("tivclient: subscription stream: %w", err)
+	}
+	return fmt.Errorf("tivclient: subscription stream closed by daemon")
+}

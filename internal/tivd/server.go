@@ -1,0 +1,510 @@
+// Package tivd implements the HTTP server behind the tivd daemon:
+// the first network surface of the TIV-aware service layer. It
+// exposes a tivaware.Service over HTTP/JSON so remote clients query
+// triangle-violation state instead of recomputing O(N³) analyses
+// locally — the deployment shape the distributed-triangle literature
+// assumes (nodes query triangle state over the network).
+//
+// Endpoints (wire types in internal/tivwire; client in
+// internal/tivclient):
+//
+//	GET  /healthz        liveness + epoch/version counters
+//	GET  /v1/rank        ?target=&k=&penalty=&exclude=&candidates=
+//	GET  /v1/closest     ?target=&penalty=&exclude=&candidates=
+//	GET  /v1/detour      ?i=&j=
+//	GET  /v1/top         ?k=
+//	GET  /v1/delay       ?i=&j=
+//	GET  /v1/analysis    aggregate triangle statistics
+//	POST /v1/update      apply edge measurements (live services only)
+//	GET  /v1/subscribe   SSE stream of violated-edge change sets
+//
+// Queries run lock-free against the service's current epoch, so the
+// daemon serves concurrent requests at full GOMAXPROCS without a
+// global lock; updates serialize through the service's copy-on-write
+// path like any other writer.
+package tivd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"tivaware/internal/tiv"
+	"tivaware/internal/tivaware"
+	"tivaware/internal/tivwire"
+)
+
+// Options configures a Server. The zero value is valid.
+type Options struct {
+	// MaxRankK caps the k accepted by /v1/rank and /v1/top so one
+	// request cannot demand an O(N²)-sized response; zero means 4096.
+	MaxRankK int
+	// SubscribeBuffer is the per-connection event buffer. A subscriber
+	// that falls further behind than this has its connection closed
+	// (dropping events silently would hand the client a torn picture
+	// of the violated-edge set). Zero means 256.
+	SubscribeBuffer int
+}
+
+func (o Options) maxRankK() int {
+	if o.MaxRankK > 0 {
+		return o.MaxRankK
+	}
+	return 4096
+}
+
+func (o Options) subscribeBuffer() int {
+	if o.SubscribeBuffer > 0 {
+		return o.SubscribeBuffer
+	}
+	return 256
+}
+
+// Server serves one tivaware.Service over HTTP. Construct with New,
+// mount via Handler.
+type Server struct {
+	svc  *tivaware.Service
+	opts Options
+	mux  *http.ServeMux
+
+	// Subscriber bookkeeping so Close can end SSE streams.
+	subMu     sync.Mutex
+	subSeq    int
+	subCancel map[int]context.CancelFunc
+	closed    atomic.Bool
+}
+
+// New builds a server over svc.
+func New(svc *tivaware.Service, opts Options) (*Server, error) {
+	if svc == nil {
+		return nil, fmt.Errorf("tivd: nil service")
+	}
+	s := &Server{svc: svc, opts: opts, mux: http.NewServeMux(), subCancel: make(map[int]context.CancelFunc)}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/rank", s.handleRank)
+	s.mux.HandleFunc("/v1/closest", s.handleClosest)
+	s.mux.HandleFunc("/v1/detour", s.handleDetour)
+	s.mux.HandleFunc("/v1/top", s.handleTop)
+	s.mux.HandleFunc("/v1/delay", s.handleDelay)
+	s.mux.HandleFunc("/v1/analysis", s.handleAnalysis)
+	s.mux.HandleFunc("/v1/update", s.handleUpdate)
+	s.mux.HandleFunc("/v1/subscribe", s.handleSubscribe)
+	return s, nil
+}
+
+// Handler returns the HTTP handler to mount.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close ends all active subscription streams. In-flight plain
+// requests finish on their own (delegate their lifecycle to
+// http.Server.Shutdown).
+func (s *Server) Close() {
+	s.closed.Store(true)
+	s.subMu.Lock()
+	cancels := make([]context.CancelFunc, 0, len(s.subCancel))
+	for _, c := range s.subCancel {
+		cancels = append(cancels, c)
+	}
+	s.subMu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, tivwire.Error{Error: fmt.Sprintf(format, args...)})
+}
+
+// serviceError maps a service-layer error onto an HTTP status:
+// validation failures (the only errors the query path produces
+// besides context cancellation) are the client's fault.
+func serviceError(w http.ResponseWriter, err error) {
+	if err == context.Canceled || err == context.DeadlineExceeded {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, "%v", err)
+}
+
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return false
+	}
+	return true
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s: %v", name, err)
+	}
+	return v, nil
+}
+
+func floatParam(r *http.Request, name string, def float64) (float64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s: %v", name, err)
+	}
+	return v, nil
+}
+
+// queryOptions decodes the shared selection parameters: penalty,
+// exclude, candidates (comma-separated node ids).
+func queryOptions(r *http.Request) (tivaware.QueryOptions, error) {
+	var opts tivaware.QueryOptions
+	penalty, err := floatParam(r, "penalty", 0)
+	if err != nil {
+		return opts, err
+	}
+	opts.SeverityPenalty = penalty
+	switch raw := r.URL.Query().Get("exclude"); raw {
+	case "", "false", "0":
+	case "true", "1":
+		opts.ExcludeViolated = true
+	default:
+		return opts, fmt.Errorf("parameter exclude: want true or false, have %q", raw)
+	}
+	if raw := r.URL.Query().Get("candidates"); raw != "" {
+		for _, f := range strings.Split(raw, ",") {
+			c, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return opts, fmt.Errorf("parameter candidates: %v", err)
+			}
+			opts.Candidates = append(opts.Candidates, c)
+		}
+	}
+	return opts, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	v, err := s.svc.View(r.Context())
+	if err != nil {
+		serviceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tivwire.Health{
+		Status:  "ok",
+		N:       s.svc.N(),
+		Live:    s.svc.Live(),
+		Epoch:   v.Seq(),
+		Version: v.Version(),
+	})
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	target, err := intParam(r, "target", -1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	k, err := intParam(r, "k", s.opts.maxRankK())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if k <= 0 || k > s.opts.maxRankK() {
+		writeError(w, http.StatusBadRequest, "parameter k: %d outside [1,%d]", k, s.opts.maxRankK())
+		return
+	}
+	opts, err := queryOptions(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	view, err := s.svc.View(r.Context())
+	if err != nil {
+		serviceError(w, err)
+		return
+	}
+	ranked, err := view.Rank(r.Context(), target, opts.Candidates, opts)
+	if err != nil {
+		serviceError(w, err)
+		return
+	}
+	truncated := false
+	if len(ranked) > k {
+		ranked = ranked[:k]
+		truncated = true
+	}
+	resp := tivwire.RankResponse{Target: target, Epoch: view.Seq(), Truncated: truncated,
+		Selections: make([]tivwire.Selection, len(ranked))}
+	for i, sel := range ranked {
+		resp.Selections[i] = tivwire.FromSelection(sel)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleClosest(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	target, err := intParam(r, "target", -1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opts, err := queryOptions(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	view, err := s.svc.View(r.Context())
+	if err != nil {
+		serviceError(w, err)
+		return
+	}
+	sel, err := view.ClosestNode(r.Context(), target, opts)
+	if err != nil {
+		serviceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tivwire.RankResponse{
+		Target: target, Epoch: view.Seq(),
+		Selections: []tivwire.Selection{tivwire.FromSelection(sel)},
+	})
+}
+
+func (s *Server) handleDetour(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	i, err := intParam(r, "i", -1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, err := intParam(r, "j", -1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	view, err := s.svc.View(r.Context())
+	if err != nil {
+		serviceError(w, err)
+		return
+	}
+	d, err := view.DetourPath(r.Context(), i, j)
+	if err != nil {
+		serviceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tivwire.DetourResponse{Epoch: view.Seq(), Detour: tivwire.FromDetour(d)})
+}
+
+func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	k, err := intParam(r, "k", 10)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if k <= 0 || k > s.opts.maxRankK() {
+		writeError(w, http.StatusBadRequest, "parameter k: %d outside [1,%d]", k, s.opts.maxRankK())
+		return
+	}
+	view, err := s.svc.View(r.Context())
+	if err != nil {
+		serviceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tivwire.TopResponse{Epoch: view.Seq(), Edges: tivwire.FromEdges(view.TopEdges(k))})
+}
+
+func (s *Server) handleDelay(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	i, err := intParam(r, "i", -1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, err := intParam(r, "j", -1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if i < 0 || j < 0 || i >= s.svc.N() || j >= s.svc.N() {
+		writeError(w, http.StatusBadRequest, "pair (%d,%d) out of range [0,%d)", i, j, s.svc.N())
+		return
+	}
+	view, err := s.svc.View(r.Context())
+	if err != nil {
+		serviceError(w, err)
+		return
+	}
+	d, ok := view.Delay(i, j)
+	if !ok {
+		d = -1
+	}
+	writeJSON(w, http.StatusOK, tivwire.DelayResponse{I: i, J: j, Delay: d, OK: ok})
+}
+
+func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	view, err := s.svc.View(r.Context())
+	if err != nil {
+		serviceError(w, err)
+		return
+	}
+	an, err := view.Analysis()
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tivwire.AnalysisResponse{
+		Epoch:                     view.Seq(),
+		Version:                   view.Version(),
+		N:                         s.svc.N(),
+		ViolatingTriangles:        an.ViolatingTriangles,
+		Triangles:                 an.Triangles,
+		ViolatingTriangleFraction: an.ViolatingTriangleFraction(),
+	})
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	if !s.svc.Live() {
+		writeError(w, http.StatusConflict, "updates require a live service (tivd -live)")
+		return
+	}
+	var req tivwire.UpdateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	if len(req.Updates) == 0 {
+		writeError(w, http.StatusBadRequest, "empty update batch")
+		return
+	}
+	cs, err := s.svc.ApplyBatch(req.ToUpdates())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tivwire.FromChangeSet(cs))
+}
+
+// handleSubscribe streams violated-edge change sets as server-sent
+// events: one "changeset" event per non-empty ChangeSet, id = monitor
+// version. The subscription rides the service's Subscribe fan-out;
+// events are forwarded through a buffered channel so a slow client
+// never blocks the updating goroutine — a client that falls behind
+// the buffer is disconnected (it can reconnect and resync from
+// /v1/top) rather than silently fed a torn violated-edge picture.
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	if !s.svc.Live() {
+		writeError(w, http.StatusConflict, "subscriptions require a live service (tivd -live)")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	ctx, stop := context.WithCancel(r.Context())
+	defer stop()
+	// Register and re-check closed under the same lock Close takes:
+	// either Close's snapshot sees this registration and cancels it,
+	// or this handler sees closed and rejects — a stream can never
+	// slip past Close and hang http.Server.Shutdown.
+	s.subMu.Lock()
+	if s.closed.Load() {
+		s.subMu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	id := s.subSeq
+	s.subSeq++
+	s.subCancel[id] = stop
+	s.subMu.Unlock()
+	defer func() {
+		s.subMu.Lock()
+		delete(s.subCancel, id)
+		s.subMu.Unlock()
+	}()
+
+	events := make(chan tiv.ChangeSet, s.opts.subscribeBuffer())
+	var overflow atomic.Bool
+	cancel, err := s.svc.Subscribe(func(cs tiv.ChangeSet) {
+		select {
+		case events <- cs:
+		default:
+			// Too far behind: mark and wake the writer to disconnect.
+			if overflow.CompareAndSwap(false, true) {
+				stop()
+			}
+		}
+	})
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	// An initial comment line confirms the stream is open before any
+	// event arrives (clients use it as the subscription handshake).
+	fmt.Fprintf(w, ": subscribed n=%d\n\n", s.svc.N())
+	flusher.Flush()
+
+	for {
+		select {
+		case <-ctx.Done():
+			if overflow.Load() {
+				// Best effort: tell the client why before closing.
+				fmt.Fprint(w, "event: overflow\ndata: {}\n\n")
+				flusher.Flush()
+			}
+			return
+		case cs := <-events:
+			payload, err := json.Marshal(tivwire.FromChangeSet(cs))
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "id: %d\nevent: changeset\ndata: %s\n\n", cs.Version, payload)
+			flusher.Flush()
+		}
+	}
+}

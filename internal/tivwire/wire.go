@@ -1,0 +1,195 @@
+// Package tivwire defines the HTTP/JSON wire protocol between the
+// tivd daemon (internal/tivd) and its Go client
+// (internal/tivclient): request/response bodies, server-sent event
+// payloads, and the conversions to and from the in-process tivaware
+// types. Both sides import this package, so the protocol has exactly
+// one definition.
+//
+// The protocol is versioned by path prefix (/v1/...); all bodies are
+// JSON. Missing delays travel as -1 (delayspace.Missing), never as
+// null, so a response is always a flat struct.
+package tivwire
+
+import (
+	"tivaware/internal/delayspace"
+	"tivaware/internal/tiv"
+	"tivaware/internal/tivaware"
+)
+
+// Health is the GET /healthz response: liveness plus the epoch and
+// source-version counters, so operators (and the smoke tests) can
+// watch state advance without pulling O(N²) payloads.
+type Health struct {
+	Status  string `json:"status"` // always "ok" when serving
+	N       int    `json:"n"`
+	Live    bool   `json:"live"`    // updates and subscriptions accepted
+	Epoch   uint64 `json:"epoch"`   // service epoch sequence number
+	Version uint64 `json:"version"` // delay-source version the epoch reflects
+}
+
+// Selection mirrors tivaware.Selection.
+type Selection struct {
+	Node       int     `json:"node"`
+	Delay      float64 `json:"delay"`
+	Severity   float64 `json:"severity"`
+	Violated   bool    `json:"violated"`
+	Violations int     `json:"violations"` // -1 in sampled-severity mode
+	Score      float64 `json:"score"`
+}
+
+// FromSelection converts the in-process type.
+func FromSelection(s tivaware.Selection) Selection {
+	return Selection{Node: s.Node, Delay: s.Delay, Severity: s.Severity,
+		Violated: s.Violated, Violations: s.Violations, Score: s.Score}
+}
+
+// ToSelection converts back to the in-process type.
+func (s Selection) ToSelection() tivaware.Selection {
+	return tivaware.Selection{Node: s.Node, Delay: s.Delay, Severity: s.Severity,
+		Violated: s.Violated, Violations: s.Violations, Score: s.Score}
+}
+
+// RankResponse is the GET /v1/rank (and /v1/closest) response.
+type RankResponse struct {
+	Target int    `json:"target"`
+	Epoch  uint64 `json:"epoch"`
+	// Truncated reports that more candidates ranked than the
+	// requested (or daemon-capped) k and the tail was cut. Clients
+	// needing the full ranking must not treat a truncated response as
+	// complete.
+	Truncated  bool        `json:"truncated,omitempty"`
+	Selections []Selection `json:"selections"`
+}
+
+// Detour mirrors tivaware.Detour; Direct is -1 when unmeasured.
+type Detour struct {
+	I        int     `json:"i"`
+	J        int     `json:"j"`
+	Direct   float64 `json:"direct"`
+	Via      int     `json:"via"` // -1 when no relay improves on the direct edge
+	ViaDelay float64 `json:"via_delay"`
+	Gain     float64 `json:"gain"`
+}
+
+// FromDetour converts the in-process type.
+func FromDetour(d tivaware.Detour) Detour {
+	return Detour{I: d.I, J: d.J, Direct: d.Direct, Via: d.Via, ViaDelay: d.ViaDelay, Gain: d.Gain}
+}
+
+// ToDetour converts back to the in-process type.
+func (d Detour) ToDetour() tivaware.Detour {
+	return tivaware.Detour{I: d.I, J: d.J, Direct: d.Direct, Via: d.Via, ViaDelay: d.ViaDelay, Gain: d.Gain}
+}
+
+// DetourResponse is the GET /v1/detour response.
+type DetourResponse struct {
+	Epoch  uint64 `json:"epoch"`
+	Detour Detour `json:"detour"`
+}
+
+// Edge is one edge with an attached value (severity for /v1/top and
+// subscription events, matching delayspace.Edge's Delay field).
+type Edge struct {
+	I        int     `json:"i"`
+	J        int     `json:"j"`
+	Severity float64 `json:"severity"`
+}
+
+// FromEdges converts severity-carrying delayspace edges.
+func FromEdges(edges []delayspace.Edge) []Edge {
+	out := make([]Edge, len(edges))
+	for k, e := range edges {
+		out[k] = Edge{I: e.I, J: e.J, Severity: e.Delay}
+	}
+	return out
+}
+
+// ToEdges converts back to severity-carrying delayspace edges.
+func ToEdges(edges []Edge) []delayspace.Edge {
+	out := make([]delayspace.Edge, len(edges))
+	for k, e := range edges {
+		out[k] = delayspace.Edge{I: e.I, J: e.J, Delay: e.Severity}
+	}
+	return out
+}
+
+// TopResponse is the GET /v1/top response: the k worst edges by
+// severity, most severe first.
+type TopResponse struct {
+	Epoch uint64 `json:"epoch"`
+	Edges []Edge `json:"edges"`
+}
+
+// DelayResponse is the GET /v1/delay response.
+type DelayResponse struct {
+	I     int     `json:"i"`
+	J     int     `json:"j"`
+	Delay float64 `json:"delay"` // -1 when OK is false
+	OK    bool    `json:"ok"`
+}
+
+// AnalysisResponse is the GET /v1/analysis response: the aggregate
+// triangle statistics (the O(N²) severity field stays server-side;
+// use /v1/top or /v1/rank for edge-level data).
+type AnalysisResponse struct {
+	Epoch                     uint64  `json:"epoch"`
+	Version                   uint64  `json:"version"`
+	N                         int     `json:"n"`
+	ViolatingTriangles        int64   `json:"violating_triangles"`
+	Triangles                 int64   `json:"triangles"`
+	ViolatingTriangleFraction float64 `json:"violating_triangle_fraction"`
+}
+
+// Update is one streamed edge measurement; RTT -1 (delayspace.Missing)
+// removes the measurement.
+type Update struct {
+	I   int     `json:"i"`
+	J   int     `json:"j"`
+	RTT float64 `json:"rtt"`
+}
+
+// UpdateRequest is the POST /v1/update body: one or more updates,
+// applied in order as one batch.
+type UpdateRequest struct {
+	Updates []Update `json:"updates"`
+}
+
+// ToUpdates converts to the in-process monitor updates.
+func (r UpdateRequest) ToUpdates() []tiv.Update {
+	out := make([]tiv.Update, len(r.Updates))
+	for k, u := range r.Updates {
+		out[k] = tiv.Update{I: u.I, J: u.J, RTT: u.RTT}
+	}
+	return out
+}
+
+// ChangeSet mirrors tiv.ChangeSet: how the violated-edge set moved
+// under one applied update or batch. It is both the POST /v1/update
+// response and the payload of every "changeset" server-sent event on
+// /v1/subscribe.
+type ChangeSet struct {
+	Version       uint64 `json:"version"` // monitor version after the mutation
+	Rescan        bool   `json:"rescan"`
+	NewlyViolated []Edge `json:"newly_violated,omitempty"`
+	Cleared       []Edge `json:"cleared,omitempty"`
+}
+
+// Empty reports whether the change set carries no set deltas.
+func (c ChangeSet) Empty() bool {
+	return len(c.NewlyViolated) == 0 && len(c.Cleared) == 0
+}
+
+// FromChangeSet converts the in-process type.
+func FromChangeSet(cs tiv.ChangeSet) ChangeSet {
+	return ChangeSet{
+		Version:       cs.Version,
+		Rescan:        cs.Rescan,
+		NewlyViolated: FromEdges(cs.NewlyViolated),
+		Cleared:       FromEdges(cs.Cleared),
+	}
+}
+
+// Error is the body of every non-2xx response.
+type Error struct {
+	Error string `json:"error"`
+}
