@@ -23,6 +23,7 @@ import (
 	"tivaware/internal/nsim"
 	"tivaware/internal/synth"
 	"tivaware/internal/tivaware"
+	"tivaware/internal/tivshard/testcluster"
 	"tivaware/internal/vivaldi"
 )
 
@@ -318,6 +319,33 @@ func BenchmarkMeridianQuery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		target := 200 + i%200
 		if _, err := sys.ClosestTo(target, ids[i%len(ids)], queryOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGatewayClosestNode measures one severity-penalized
+// selection through the sharded query plane: a tivshard gateway over
+// a 3-shard loopback cluster (real tivd servers over TCP), so each op
+// pays three concurrent HTTP round trips plus the k-way merge. Its
+// ratio against BenchmarkServiceClosestNode is the wire+scatter tax
+// of distributing the query plane.
+func BenchmarkGatewayClosestNode(b *testing.B) {
+	c, err := testcluster.Start(testcluster.Config{N: 200, Shards: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	n := c.Matrix.N()
+	opts := tivaware.QueryOptions{SeverityPenalty: 2}
+	if _, err := c.Gateway.ClosestNode(ctx, 0, opts); err != nil { // warm every shard's epoch
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Gateway.ClosestNode(ctx, i%n, opts); err != nil {
 			b.Fatal(err)
 		}
 	}

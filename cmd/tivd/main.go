@@ -13,6 +13,12 @@
 //
 //	tivd -synth 200 -live -listen 127.0.0.1:7070
 //
+// Serve a scatter-gather gateway over three shard daemons (the wire
+// protocol is identical, so clients cannot tell a gateway from a
+// single daemon):
+//
+//	tivd -shards http://10.0.0.1:7070,http://10.0.0.2:7070,http://10.0.0.3:7070
+//
 // Then:
 //
 //	curl 'http://127.0.0.1:7070/healthz'
@@ -33,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -40,6 +47,7 @@ import (
 	"tivaware/internal/synth"
 	"tivaware/internal/tivaware"
 	"tivaware/internal/tivd"
+	"tivaware/internal/tivshard"
 )
 
 func main() {
@@ -65,13 +73,21 @@ func run(args []string, stdout io.Writer, ctx context.Context) error {
 		workers = fs.Int("workers", 0, "analysis parallelism (0 = GOMAXPROCS)")
 		sample  = fs.Int("sample", 0, "estimate severities from this many third nodes (0 = exact; incompatible with -live)")
 		maxK    = fs.Int("maxk", 0, "cap on k for /v1/rank and /v1/top (0 = default 4096)")
+		shards  = fs.String("shards", "", "comma-separated shard daemon URLs: serve a scatter-gather gateway over them instead of a local matrix")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *shards != "" {
+		if *in != "" || *synthN != 0 || *live || *sample != 0 || *workers != 0 || *format != "csv" {
+			fs.Usage()
+			return fmt.Errorf("-shards is a pure gateway: it takes no -in/-synth/-format/-live/-sample/-workers (liveness and analysis parallelism follow the shards)")
+		}
+		return runGateway(*shards, *listen, *maxK, stdout, ctx)
+	}
 	if (*in == "") == (*synthN == 0) {
 		fs.Usage()
-		return fmt.Errorf("exactly one of -in or -synth required")
+		return fmt.Errorf("exactly one of -in, -synth, or -shards required")
 	}
 
 	var m *delayspace.Matrix
@@ -114,12 +130,54 @@ func run(args []string, stdout io.Writer, ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	banner := fmt.Sprintf("tivd: serving %d nodes (live=%v)", svc.N(), svc.Live())
+	return serveLoop(srv, *listen, banner, stdout, ctx, nil)
+}
 
-	ln, err := net.Listen("tcp", *listen)
+// runGateway serves a tivshard gateway over the given shard daemons
+// behind the identical wire surface.
+func runGateway(shards, listen string, maxK int, stdout io.Writer, ctx context.Context) error {
+	var urls []string
+	for _, u := range strings.Split(shards, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("-shards carries no URLs")
+	}
+	if ctx == nil {
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+	}
+	// Bound the startup health probes: a hung shard must fail the
+	// gateway (or yield to a signal), not wedge it before it serves.
+	probeCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	gw, err := tivshard.New(probeCtx, urls, tivshard.Options{})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "tivd: serving %d nodes (live=%v) on http://%s\n", svc.N(), svc.Live(), ln.Addr())
+	srv, err := tivd.NewBackend(gw.Backend(), tivd.Options{MaxRankK: maxK})
+	if err != nil {
+		gw.Close()
+		return err
+	}
+	banner := fmt.Sprintf("tivd: gateway over %d shards serving %d nodes (live=%v)", gw.K(), gw.N(), gw.Live())
+	return serveLoop(srv, listen, banner, stdout, ctx, gw.Close)
+}
+
+// serveLoop binds the listener, serves until the context (nil means
+// "on SIGINT/SIGTERM") is done, and shuts down cleanly: SSE streams
+// first so the HTTP server can drain, then onShutdown (a gateway's
+// fan-in pumps), if any.
+func serveLoop(srv *tivd.Server, listen, banner string, stdout io.Writer, ctx context.Context, onShutdown func()) error {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s on http://%s\n", banner, ln.Addr())
 
 	if ctx == nil {
 		var stop context.CancelFunc
@@ -137,6 +195,9 @@ func run(args []string, stdout io.Writer, ctx context.Context) error {
 	}
 	fmt.Fprintln(stdout, "tivd: shutting down")
 	srv.Close() // end SSE streams so Shutdown can drain
+	if onShutdown != nil {
+		defer onShutdown()
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {

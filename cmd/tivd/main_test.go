@@ -136,6 +136,124 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 }
 
+// startDaemon boots one daemon via run() and returns its bound
+// address plus a channel carrying its exit error.
+func startDaemon(t *testing.T, ctx context.Context, args []string) (addr string, w *notifyWriter, done chan error) {
+	t.Helper()
+	w = &notifyWriter{ready: make(chan struct{})}
+	done = make(chan error, 1)
+	go func() { done <- run(args, w, ctx) }()
+	select {
+	case <-w.ready:
+	case err := <-done:
+		t.Fatalf("daemon %v exited before serving: %v", args, err)
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon %v did not start serving", args)
+	}
+	return w.addr(), w, done
+}
+
+// TestGatewayDaemonEndToEnd boots three real shard daemons plus a
+// `tivd -shards` gateway daemon over them — four HTTP servers over
+// real TCP inside this process — and runs the full client round trip
+// against the gateway: health, a scatter-gathered query, an update
+// replicated across the shards, and its change set arriving on the
+// fanned-in SSE stream. The wire protocol is the single-daemon one
+// throughout; the client cannot tell it is talking to a cluster.
+func TestGatewayDaemonEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var shardURLs []string
+	var shardDone []chan error
+	for s := 0; s < 3; s++ {
+		addr, _, done := startDaemon(t, ctx, []string{"-listen", "127.0.0.1:0", "-synth", "24", "-live"})
+		shardURLs = append(shardURLs, "http://"+addr)
+		shardDone = append(shardDone, done)
+	}
+	gwAddr, gwW, gwDone := startDaemon(t, ctx, []string{"-listen", "127.0.0.1:0", "-shards", strings.Join(shardURLs, ",")})
+	client := tivclient.New("http://"+gwAddr, tivclient.Options{})
+
+	h, err := client.Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N != 24 || !h.Live {
+		t.Fatalf("gateway healthz = %+v, want 24 live nodes", h)
+	}
+
+	best, err := client.ClosestNode(ctx, 0, tivaware.QueryOptions{SeverityPenalty: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Node == 0 || best.Delay <= 0 {
+		t.Fatalf("gateway ClosestNode = %+v", best)
+	}
+
+	// Subscribe through the gateway, update through the gateway: the
+	// delta must come back on the fanned-in stream.
+	subCtx, subCancel := context.WithCancel(ctx)
+	defer subCancel()
+	ready := make(chan struct{})
+	events := make(chan tivwire.ChangeSet, 64)
+	subDone := make(chan error, 1)
+	go func() {
+		subDone <- client.Subscribe(subCtx, ready, func(cs tivwire.ChangeSet) { events <- cs })
+	}()
+	select {
+	case <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("gateway subscription handshake timed out")
+	}
+	if _, err := client.ApplyUpdate(ctx, 0, 1, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(10 * time.Second)
+	for found := false; !found; {
+		select {
+		case ev := <-events:
+			for _, e := range ev.NewlyViolated {
+				if e.I == 0 && e.J == 1 {
+					found = true
+				}
+			}
+		case <-deadline:
+			t.Fatal("violated-edge delta did not arrive through the gateway stream")
+		}
+	}
+	subCancel()
+	if err := <-subDone; err != nil {
+		t.Errorf("Subscribe after cancel: %v", err)
+	}
+
+	// The update must have reached every shard replica.
+	for s, u := range shardURLs {
+		d, ok, err := tivclient.New(u, tivclient.Options{}).Delay(ctx, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || d != 1e6 {
+			t.Errorf("shard %d delay(0,1) = (%g,%v), want the replicated 1e6", s, d, ok)
+		}
+	}
+
+	// Clean shutdown of the whole fleet.
+	cancel()
+	for _, done := range append(shardDone, gwDone) {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("daemon shutdown: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("a daemon did not shut down")
+		}
+	}
+	if !strings.Contains(gwW.buf.String(), "gateway over 3 shards") {
+		t.Error("gateway daemon did not log its shard count")
+	}
+}
+
 func TestFlagValidation(t *testing.T) {
 	if err := run([]string{"-listen", "127.0.0.1:0"}, &strings.Builder{}, context.Background()); err == nil {
 		t.Error("missing -in/-synth should error")
@@ -145,5 +263,11 @@ func TestFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-synth", "8", "-live", "-sample", "4", "-listen", "127.0.0.1:0"}, &strings.Builder{}, context.Background()); err == nil {
 		t.Error("live + sampled should error")
+	}
+	if err := run([]string{"-shards", "http://x", "-synth", "8"}, &strings.Builder{}, context.Background()); err == nil {
+		t.Error("-shards + -synth should error")
+	}
+	if err := run([]string{"-shards", " , "}, &strings.Builder{}, context.Background()); err == nil {
+		t.Error("-shards without URLs should error")
 	}
 }

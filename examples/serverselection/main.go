@@ -4,10 +4,11 @@
 // tivaware service's severity-penalized ranking — the same selection
 // primitive without an overlay.
 //
-// The final section runs that ranking twice through the
-// tivaware.Querier seam: once in-process against the Service, and
-// once over the wire against a tivd daemon via tivclient — same code,
-// same answers, two deployment shapes.
+// The final sections run that ranking through the tivaware.Querier
+// seam in three deployment shapes — in-process against the Service,
+// over the wire against a tivd daemon via tivclient, and against a
+// 3-shard loopback cluster via the tivshard gateway — same code,
+// same answers, verified exactly in the sharded case.
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"tivaware/internal/tivaware"
 	"tivaware/internal/tivclient"
 	"tivaware/internal/tivd"
+	"tivaware/internal/tivshard/testcluster"
 	"tivaware/internal/vivaldi"
 )
 
@@ -148,6 +150,44 @@ func main() {
 		s := stats.Summarize(pens)
 		fmt.Printf("tivclient.Rank penalty=%.0f   median penalty %5.1f%%  p90 %6.1f%%  (%d clients, via tivd)\n",
 			penalty, s.Median, s.P90, len(pens))
+	}
+
+	// Sharded mode: the same selection through a 3-shard loopback
+	// cluster — three real tivd shard servers, each holding a replica
+	// of the measured matrix, scatter-gathered by a tivshard gateway.
+	// The gateway implements the same Querier seam, and its answers
+	// must match a monolithic matrix-backed service exactly (both run
+	// Workers=1, which makes the severity sums bit-reproducible).
+	cluster, err := testcluster.Start(testcluster.Config{Matrix: space.Matrix, Shards: 3, Workers: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	mono, err := cluster.NewMonolith()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tivshard cluster: %d shards x %d nodes on loopback\n", cluster.Gateway.K(), cluster.Gateway.N())
+	for _, penalty := range []float64{0, 2} {
+		monoPens, err := servicePenalties(ctx, mono, space.Matrix, servers, clients, penalty)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gwPens, err := servicePenalties(ctx, cluster.Gateway, space.Matrix, servers, clients, penalty)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(gwPens) != len(monoPens) {
+			log.Fatalf("gateway selected for %d clients, monolith for %d", len(gwPens), len(monoPens))
+		}
+		for i := range gwPens {
+			if gwPens[i] != monoPens[i] {
+				log.Fatalf("client %d: gateway penalty %g, monolith %g", i, gwPens[i], monoPens[i])
+			}
+		}
+		s := stats.Summarize(gwPens)
+		fmt.Printf("tivshard.Rank penalty=%.0f    median penalty %5.1f%%  p90 %6.1f%%  (%d clients, 3 shards, ≡ monolith)\n",
+			penalty, s.Median, s.P90, len(gwPens))
 	}
 }
 

@@ -164,26 +164,51 @@ func (e *EdgeSeverities) WorstEdges(frac float64) []delayspace.Edge {
 // TopEdges returns the k edges with the highest severity, most severe
 // first (fewer when the matrix has fewer edges, nil when k <= 0).
 func (e *EdgeSeverities) TopEdges(k int) []delayspace.Edge {
+	return e.TopEdgesMod(k, 0, 0)
+}
+
+// TopEdgesMod returns the k highest-severity edges whose lower
+// endpoint falls in the residue class (mod, rem): edges (i, j) with
+// i < j and i % mod == rem, most severe first. mod ≤ 1 considers every
+// edge (TopEdges). The residue classes of a fixed modulus partition
+// the edge set, which is what lets a sharded gateway reassemble the
+// exact global ranking from per-class ones.
+func (e *EdgeSeverities) TopEdgesMod(k, mod, rem int) []delayspace.Edge {
 	numEdges := e.n * (e.n - 1) / 2
-	if k <= 0 || numEdges == 0 {
+	if k <= 0 || numEdges == 0 || mod < 0 || (mod > 0 && (rem < 0 || rem >= mod)) {
 		return nil
 	}
-	if k > numEdges {
-		k = numEdges
+	capEdges := numEdges
+	if mod > 1 {
+		capEdges = 0
+		for i := rem; i < e.n; i += mod {
+			capEdges += e.n - 1 - i
+		}
 	}
-	edges := make([]delayspace.Edge, 0, numEdges)
+	edges := make([]delayspace.Edge, 0, capEdges)
 	for i := 0; i < e.n; i++ {
+		if mod > 1 && i%mod != rem {
+			continue
+		}
 		for j := i + 1; j < e.n; j++ {
 			edges = append(edges, delayspace.Edge{I: i, J: j, Delay: e.At(i, j)})
 		}
 	}
+	if k > len(edges) {
+		k = len(edges)
+	}
+	if k == 0 {
+		return nil
+	}
 	return selectTopEdges(edges, k)
 }
 
-// edgeLess is the total order all edge rankings use: higher severity
+// EdgeLess is the total order all edge rankings use — here, in the
+// sharded gateway's k-way merge (internal/tivshard), and anywhere
+// else edge rankings must agree byte-for-byte: higher severity
 // (carried in Delay) first, ties broken by (I, J) so results are
 // stable across runs regardless of sort or selection internals.
-func edgeLess(a, b delayspace.Edge) bool {
+func EdgeLess(a, b delayspace.Edge) bool {
 	if a.Delay != b.Delay {
 		return a.Delay > b.Delay
 	}
@@ -194,13 +219,13 @@ func edgeLess(a, b delayspace.Edge) bool {
 }
 
 func sortEdgesBySeverityDesc(edges []delayspace.Edge) {
-	sortSlice(edges, edgeLess)
+	sortSlice(edges, EdgeLess)
 }
 
-// selectTopEdges partially selects the k first edges under edgeLess
+// selectTopEdges partially selects the k first edges under EdgeLess
 // (quickselect with a median-of-three pivot), sorts just that prefix,
 // and returns it — O(E + k log k) instead of a full O(E log E) sort.
-// The output is deterministic because edgeLess is a total order.
+// The output is deterministic because EdgeLess is a total order.
 func selectTopEdges(edges []delayspace.Edge, k int) []delayspace.Edge {
 	if k >= len(edges) {
 		sortEdgesBySeverityDesc(edges)
@@ -227,20 +252,20 @@ func selectTopEdges(edges []delayspace.Edge, k int) []delayspace.Edge {
 // around a median-of-three pivot and returns the pivot's final index.
 func partitionEdges(e []delayspace.Edge, lo, hi int) int {
 	mid := lo + (hi-lo)/2
-	if edgeLess(e[mid], e[lo]) {
+	if EdgeLess(e[mid], e[lo]) {
 		e[mid], e[lo] = e[lo], e[mid]
 	}
-	if edgeLess(e[hi-1], e[lo]) {
+	if EdgeLess(e[hi-1], e[lo]) {
 		e[hi-1], e[lo] = e[lo], e[hi-1]
 	}
-	if edgeLess(e[hi-1], e[mid]) {
+	if EdgeLess(e[hi-1], e[mid]) {
 		e[hi-1], e[mid] = e[mid], e[hi-1]
 	}
 	e[mid], e[hi-1] = e[hi-1], e[mid]
 	pivot := e[hi-1]
 	store := lo
 	for i := lo; i < hi-1; i++ {
-		if edgeLess(e[i], pivot) {
+		if EdgeLess(e[i], pivot) {
 			e[i], e[store] = e[store], e[i]
 			store++
 		}

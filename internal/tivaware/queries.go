@@ -47,6 +47,32 @@ type QueryOptions struct {
 	// currently violates the triangle inequality (Selection.Violated),
 	// the hard-filter variant of the penalty.
 	ExcludeViolated bool
+	// Mod and Rem restrict the candidate set to node ids c with
+	// c % Mod == Rem, after validation of any explicit candidate list.
+	// Mod 0 (the zero value) applies no restriction; Mod ≥ 1 requires
+	// 0 ≤ Rem < Mod. This is the scatter primitive of the sharded query
+	// plane (internal/tivshard): a gateway that owns nodes round-robin
+	// sends every shard the same query with that shard's residue class,
+	// and the per-shard rankings partition the unrestricted one.
+	Mod int
+	Rem int
+}
+
+// checkResidue validates a Mod/Rem residue-class restriction.
+func checkResidue(mod, rem int) error {
+	if mod < 0 {
+		return fmt.Errorf("tivaware: negative residue modulus %d", mod)
+	}
+	if mod > 0 && (rem < 0 || rem >= mod) {
+		return fmt.Errorf("tivaware: residue %d outside [0,%d)", rem, mod)
+	}
+	return nil
+}
+
+// inClass reports whether id belongs to the residue class (mod, rem);
+// mod ≤ 1 admits every id.
+func inClass(id, mod, rem int) bool {
+	return mod <= 1 || id%mod == rem
 }
 
 // Selection is one ranked candidate.
@@ -96,6 +122,9 @@ func rankEpoch(ctx context.Context, e *epoch, target int, candidates []int, opts
 	if err := e.checkNode("target", target); err != nil {
 		return nil, err
 	}
+	if err := checkResidue(opts.Mod, opts.Rem); err != nil {
+		return nil, err
+	}
 	if candidates == nil {
 		candidates = opts.Candidates
 	}
@@ -127,7 +156,7 @@ func rankEpoch(ctx context.Context, e *epoch, target int, candidates []int, opts
 				return nil, err
 			}
 		}
-		if c == target {
+		if c == target || !inClass(c, opts.Mod, opts.Rem) {
 			continue
 		}
 		d, ok := e.q.Delay(target, c)
@@ -147,13 +176,19 @@ func rankEpoch(ctx context.Context, e *epoch, target int, candidates []int, opts
 		sel.Score = d * (1 + opts.SeverityPenalty*sel.Severity)
 		out = append(out, sel)
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Score != out[b].Score {
-			return out[a].Score < out[b].Score
-		}
-		return out[a].Node < out[b].Node
-	})
+	sort.Slice(out, func(a, b int) bool { return SelectionLess(out[a], out[b]) })
 	return out, nil
+}
+
+// SelectionLess is the total order every ranking sorts with: lower
+// score first, ties broken by node id. It is exported because the
+// sharded gateway's k-way merge (internal/tivshard) must use the
+// byte-identical comparator to reassemble the monolithic order.
+func SelectionLess(a, b Selection) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Node < b.Node
 }
 
 // KClosest returns the k best-ranked candidates for the target (all
@@ -240,6 +275,16 @@ func (d Detour) Beneficial() bool { return d.Via >= 0 && d.Gain > 0 }
 // when the direct edge is unmeasured, the best relay route (if one
 // exists) is returned with Gain 0.
 func (s *Service) DetourPath(ctx context.Context, i, j int) (Detour, error) {
+	return s.DetourPathMod(ctx, i, j, 0, 0)
+}
+
+// DetourPathMod is DetourPath with the relay scan restricted to the
+// residue class (mod, rem): only relays k with k % mod == rem are
+// considered (mod 0 considers every relay). A sharded gateway scans
+// each shard's class remotely and reduces the per-class bests to the
+// global best detour; the reduction is exact because each class
+// returns its lowest-id relay achieving the class-minimal via delay.
+func (s *Service) DetourPathMod(ctx context.Context, i, j, mod, rem int) (Detour, error) {
 	if err := checkCtx(ctx); err != nil {
 		return Detour{}, err
 	}
@@ -247,10 +292,10 @@ func (s *Service) DetourPath(ctx context.Context, i, j int) (Detour, error) {
 	if err != nil {
 		return Detour{}, err
 	}
-	return detourEpoch(ctx, e, i, j)
+	return detourEpoch(ctx, e, i, j, mod, rem)
 }
 
-func detourEpoch(ctx context.Context, e *epoch, i, j int) (Detour, error) {
+func detourEpoch(ctx context.Context, e *epoch, i, j, mod, rem int) (Detour, error) {
 	if err := checkCtx(ctx); err != nil {
 		return Detour{}, err
 	}
@@ -262,6 +307,9 @@ func detourEpoch(ctx context.Context, e *epoch, i, j int) (Detour, error) {
 	}
 	if i == j {
 		return Detour{}, fmt.Errorf("tivaware: DetourPath on diagonal (%d,%d)", i, j)
+	}
+	if err := checkResidue(mod, rem); err != nil {
+		return Detour{}, err
 	}
 	d := Detour{I: i, J: j, Via: -1, Direct: delayspace.Missing}
 	direct, hasDirect := e.q.Delay(i, j)
@@ -277,7 +325,7 @@ func detourEpoch(ctx context.Context, e *epoch, i, j int) (Detour, error) {
 				return Detour{}, err
 			}
 		}
-		if k == i || k == j {
+		if k == i || k == j || !inClass(k, mod, rem) {
 			continue
 		}
 		dik, ok := e.q.Delay(i, k)

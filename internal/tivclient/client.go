@@ -16,10 +16,10 @@
 package tivclient
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -30,6 +30,25 @@ import (
 	"tivaware/internal/delayspace"
 	"tivaware/internal/tivaware"
 	"tivaware/internal/tivwire"
+)
+
+// Typed subscription-stream terminations. A Subscribe call that does
+// not end by context cancellation always returns a non-nil error —
+// the stream never stalls silently — and these two sentinels (matched
+// with errors.Is) distinguish the daemon-initiated endings a caller
+// reacts to differently.
+var (
+	// ErrSubscribeOverflow: the daemon disconnected this subscriber
+	// because it fell further behind than the event buffer
+	// (tivd.Options.SubscribeBuffer). Deltas were dropped, so the
+	// caller's violated-edge picture is torn; resync it (TopEdges)
+	// before resubscribing, and note that change sets applied between
+	// the disconnect and the new subscription's handshake are lost.
+	ErrSubscribeOverflow = errors.New("subscription fell behind the daemon's event buffer")
+	// ErrSubscribeClosed: the daemon ended the stream (shutdown,
+	// restart, or Server.Close). Resubscribe once the daemon is back;
+	// resync first unless the caller can rule out interim updates.
+	ErrSubscribeClosed = errors.New("subscription stream closed by daemon")
 )
 
 // Options configures a Client. The zero value is valid.
@@ -131,6 +150,10 @@ func selectionParams(candidates []int, opts tivaware.QueryOptions) url.Values {
 	if opts.ExcludeViolated {
 		params.Set("exclude", "true")
 	}
+	if opts.Mod != 0 {
+		params.Set("mod", strconv.Itoa(opts.Mod))
+		params.Set("rem", strconv.Itoa(opts.Rem))
+	}
 	if candidates == nil {
 		candidates = opts.Candidates
 	}
@@ -221,9 +244,20 @@ func (c *Client) ClosestNode(ctx context.Context, target int, opts tivaware.Quer
 
 // DetourPath finds the best one-hop detour for the pair (i, j).
 func (c *Client) DetourPath(ctx context.Context, i, j int) (tivaware.Detour, error) {
+	return c.DetourPathMod(ctx, i, j, 0, 0)
+}
+
+// DetourPathMod restricts the relay scan to the residue class
+// (mod, rem); see tivaware.Service.DetourPathMod. Sharded gateways
+// scatter the relay scan across shards with it.
+func (c *Client) DetourPathMod(ctx context.Context, i, j, mod, rem int) (tivaware.Detour, error) {
 	params := url.Values{}
 	params.Set("i", strconv.Itoa(i))
 	params.Set("j", strconv.Itoa(j))
+	if mod != 0 {
+		params.Set("mod", strconv.Itoa(mod))
+		params.Set("rem", strconv.Itoa(rem))
+	}
 	var resp tivwire.DetourResponse
 	if err := c.get(ctx, "/v1/detour", params, &resp); err != nil {
 		return tivaware.Detour{}, err
@@ -235,8 +269,19 @@ func (c *Client) DetourPath(ctx context.Context, i, j int) (tivaware.Detour, err
 // most severe first (severity in the Delay field, matching
 // tivaware.Service.TopEdges).
 func (c *Client) TopEdges(ctx context.Context, k int) ([]delayspace.Edge, error) {
+	return c.TopEdgesMod(ctx, k, 0, 0)
+}
+
+// TopEdgesMod returns the k worst edges owned by the residue class
+// (mod, rem) — edges (i, j), i < j, with i % mod == rem; see
+// tivaware.View.TopEdgesMod.
+func (c *Client) TopEdgesMod(ctx context.Context, k, mod, rem int) ([]delayspace.Edge, error) {
 	params := url.Values{}
 	params.Set("k", strconv.Itoa(k))
+	if mod != 0 {
+		params.Set("mod", strconv.Itoa(mod))
+		params.Set("rem", strconv.Itoa(rem))
+	}
 	var resp tivwire.TopResponse
 	if err := c.get(ctx, "/v1/top", params, &resp); err != nil {
 		return nil, err
@@ -279,12 +324,29 @@ func (c *Client) ApplyBatch(ctx context.Context, updates []tivwire.Update) (tivw
 
 // Subscribe opens the daemon's SSE stream and invokes fn for every
 // violated-edge change set until ctx is cancelled or the stream ends.
-// It returns nil after a cancellation, an error for any transport or
-// protocol failure — including the daemon disconnecting a subscriber
-// that fell behind its event buffer (resync from TopEdges and
-// resubscribe in that case). ready, if non-nil, is closed once the
-// subscription handshake completes, i.e. fn will observe every change
-// set applied after that point.
+// ready, if non-nil, is closed once the subscription handshake
+// completes, i.e. fn will observe every change set applied after that
+// point.
+//
+// Reconnect semantics: Subscribe returns nil only after a context
+// cancellation. Every other ending is an error — a dropped stream
+// surfaces instead of stalling — and the caller decides how to come
+// back:
+//
+//   - errors.Is(err, ErrSubscribeOverflow): the daemon dropped this
+//     subscriber for falling behind. Deltas are missing; resync the
+//     violated-edge picture (TopEdges), then resubscribe.
+//   - errors.Is(err, ErrSubscribeClosed): the daemon ended the stream
+//     (shutdown or Server.Close). Resubscribe when it returns, resync
+//     first unless interim updates can be ruled out.
+//   - anything else: a transport or protocol failure (including a
+//     malformed changeset payload); recover the same way as an
+//     overflow.
+//
+// Subscriptions are deltas-only — there is no server-side replay — so
+// any gap between two subscriptions must be bridged by a resync.
+// internal/tivshard's gateway automates exactly this loop per shard,
+// forwarding a Rescan marker to its subscribers when a stream tears.
 func (c *Client) Subscribe(ctx context.Context, ready chan<- struct{}, fn func(tivwire.ChangeSet)) error {
 	if fn == nil {
 		return fmt.Errorf("tivclient: nil subscriber")
@@ -311,59 +373,51 @@ func (c *Client) Subscribe(ctx context.Context, ready chan<- struct{}, fn func(t
 		return fmt.Errorf("tivclient: subscribe: HTTP %d", resp.StatusCode)
 	}
 
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 64<<10), 16<<20)
-	event := ""
-	var data strings.Builder
-	first := true
-	dispatch := func() error {
-		defer func() { event = ""; data.Reset() }()
-		switch event {
+	// The handshake comment is the first frame the daemon flushes;
+	// any readable byte means we are attached.
+	sc := tivwire.NewSSEScanner(&readyReader{r: resp.Body, ready: ready})
+	for {
+		ev, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("tivclient: subscription stream: %w", err)
+		}
+		switch ev.Name {
 		case "changeset":
 			var cs tivwire.ChangeSet
-			if err := json.Unmarshal([]byte(data.String()), &cs); err != nil {
+			if err := json.Unmarshal([]byte(ev.Data), &cs); err != nil {
 				return fmt.Errorf("tivclient: decoding changeset event: %w", err)
 			}
 			fn(cs)
 		case "overflow":
-			return fmt.Errorf("tivclient: subscription fell behind the daemon's event buffer; resync and resubscribe")
+			return fmt.Errorf("tivclient: %w", ErrSubscribeOverflow)
 		}
-		return nil
-	}
-	for sc.Scan() {
-		line := sc.Text()
-		if first {
-			// The handshake comment is the first frame the daemon
-			// flushes; anything readable at all means we are attached.
-			first = false
-			if ready != nil {
-				close(ready)
-				ready = nil
-			}
-		}
-		switch {
-		case line == "":
-			if err := dispatch(); err != nil {
-				return err
-			}
-		case strings.HasPrefix(line, ":"):
-			// comment / heartbeat
-		case strings.HasPrefix(line, "event:"):
-			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
-		case strings.HasPrefix(line, "data:"):
-			if data.Len() > 0 {
-				data.WriteByte('\n')
-			}
-			data.WriteString(strings.TrimSpace(strings.TrimPrefix(line, "data:")))
-		}
-		// id: lines are informational (the monitor version already
-		// travels in the payload).
+		// Other event names (and id: lines — the monitor version
+		// already travels in the payload) are informational.
 	}
 	if ctx.Err() != nil {
 		return nil
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("tivclient: subscription stream: %w", err)
+	return fmt.Errorf("tivclient: %w", ErrSubscribeClosed)
+}
+
+// readyReader closes ready on the first byte read from the stream —
+// the subscription handshake signal.
+type readyReader struct {
+	r     io.Reader
+	ready chan<- struct{}
+}
+
+func (r *readyReader) Read(p []byte) (int, error) {
+	n, err := r.r.Read(p)
+	if n > 0 && r.ready != nil {
+		close(r.ready)
+		r.ready = nil
 	}
-	return fmt.Errorf("tivclient: subscription stream closed by daemon")
+	return n, err
 }

@@ -1,0 +1,134 @@
+package tivd
+
+import (
+	"context"
+
+	"tivaware/internal/delayspace"
+	"tivaware/internal/tiv"
+	"tivaware/internal/tivaware"
+)
+
+// Backend is the query-and-update surface the HTTP server serves. Two
+// implementations exist: the in-process tivaware.Service (via
+// ServiceBackend — one daemon, one matrix) and tivshard.Gateway (a
+// scatter-gather front over K shard daemons). Both speak through the
+// same handlers, so a client cannot tell a gateway from a monolithic
+// daemon by the wire protocol.
+//
+// Query methods return the epoch sequence number the answer reflects
+// (stamped into the response bodies); for a gateway it is the gateway
+// generation counter, see tivshard. The mod/rem pairs restrict relay
+// and edge scans to a residue class of node ids (0 means
+// unrestricted), the scatter primitive shard daemons answer for their
+// gateway — see tivaware.QueryOptions.Mod.
+//
+// The signatures reference only tivaware/tiv/delayspace types, so an
+// implementation never needs to import this package.
+type Backend interface {
+	// N returns the node count.
+	N() int
+	// Live reports whether updates and subscriptions are accepted.
+	Live() bool
+	// Health returns the current epoch and delay-source version.
+	Health(ctx context.Context) (epoch, version uint64, err error)
+	// Rank scores candidates for the target, best first.
+	Rank(ctx context.Context, target int, candidates []int, opts tivaware.QueryOptions) ([]tivaware.Selection, uint64, error)
+	// ClosestNode returns the best-ranked candidate.
+	ClosestNode(ctx context.Context, target int, opts tivaware.QueryOptions) (tivaware.Selection, uint64, error)
+	// DetourPath finds the best one-hop detour for (i, j) over relays
+	// in the (mod, rem) residue class.
+	DetourPath(ctx context.Context, i, j, mod, rem int) (tivaware.Detour, uint64, error)
+	// TopEdges returns the k worst edges owned by the (mod, rem) class.
+	TopEdges(ctx context.Context, k, mod, rem int) ([]delayspace.Edge, uint64, error)
+	// Delay returns the delay estimate for (i, j).
+	Delay(ctx context.Context, i, j int) (float64, bool, error)
+	// Analysis returns the aggregate triangle statistics (only the
+	// integer totals need to be populated) plus epoch and version.
+	Analysis(ctx context.Context) (tiv.Analysis, uint64, uint64, error)
+	// ApplyBatch applies edge measurements as one batch.
+	ApplyBatch(ctx context.Context, updates []tiv.Update) (tiv.ChangeSet, error)
+	// Subscribe registers fn for violated-edge change sets.
+	Subscribe(fn func(tiv.ChangeSet)) (cancel func(), err error)
+}
+
+// serviceBackend adapts a tivaware.Service: every query pins one View
+// so the response body and its epoch stamp are mutually consistent.
+type serviceBackend struct {
+	svc *tivaware.Service
+}
+
+// ServiceBackend exposes an in-process service as a Backend.
+func ServiceBackend(svc *tivaware.Service) Backend { return serviceBackend{svc} }
+
+func (b serviceBackend) N() int     { return b.svc.N() }
+func (b serviceBackend) Live() bool { return b.svc.Live() }
+
+func (b serviceBackend) Health(ctx context.Context) (uint64, uint64, error) {
+	v, err := b.svc.View(ctx)
+	if err != nil {
+		return 0, 0, err
+	}
+	return v.Seq(), v.Version(), nil
+}
+
+func (b serviceBackend) Rank(ctx context.Context, target int, candidates []int, opts tivaware.QueryOptions) ([]tivaware.Selection, uint64, error) {
+	v, err := b.svc.View(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	sels, err := v.Rank(ctx, target, candidates, opts)
+	return sels, v.Seq(), err
+}
+
+func (b serviceBackend) ClosestNode(ctx context.Context, target int, opts tivaware.QueryOptions) (tivaware.Selection, uint64, error) {
+	v, err := b.svc.View(ctx)
+	if err != nil {
+		return tivaware.Selection{}, 0, err
+	}
+	sel, err := v.ClosestNode(ctx, target, opts)
+	return sel, v.Seq(), err
+}
+
+func (b serviceBackend) DetourPath(ctx context.Context, i, j, mod, rem int) (tivaware.Detour, uint64, error) {
+	v, err := b.svc.View(ctx)
+	if err != nil {
+		return tivaware.Detour{}, 0, err
+	}
+	d, err := v.DetourPathMod(ctx, i, j, mod, rem)
+	return d, v.Seq(), err
+}
+
+func (b serviceBackend) TopEdges(ctx context.Context, k, mod, rem int) ([]delayspace.Edge, uint64, error) {
+	v, err := b.svc.View(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	edges, err := v.TopEdgesMod(k, mod, rem)
+	return edges, v.Seq(), err
+}
+
+func (b serviceBackend) Delay(ctx context.Context, i, j int) (float64, bool, error) {
+	v, err := b.svc.View(ctx)
+	if err != nil {
+		return 0, false, err
+	}
+	d, ok := v.Delay(i, j)
+	return d, ok, nil
+}
+
+func (b serviceBackend) Analysis(ctx context.Context) (tiv.Analysis, uint64, uint64, error) {
+	v, err := b.svc.View(ctx)
+	if err != nil {
+		return tiv.Analysis{}, 0, 0, err
+	}
+	an, err := v.Analysis()
+	return an, v.Seq(), v.Version(), err
+}
+
+func (b serviceBackend) ApplyBatch(_ context.Context, updates []tiv.Update) (tiv.ChangeSet, error) {
+	return b.svc.ApplyBatch(updates)
+}
+
+func (b serviceBackend) Subscribe(fn func(tiv.ChangeSet)) (func(), error) {
+	return b.svc.Subscribe(fn)
+}

@@ -1,0 +1,66 @@
+package tivd
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"tivaware/internal/synth"
+	"tivaware/internal/tivaware"
+)
+
+// FuzzRequests throws arbitrary request lines and bodies at every
+// endpoint of a live server: fuzzed query strings (unparsable ints,
+// absurd residues, hostile candidate lists) and fuzzed POST bodies.
+// The server must answer every one of them — any status is fine, a
+// panic or hang is not. The live service is shared across iterations,
+// so fuzzed updates that happen to validate also mutate real state
+// while later iterations query it.
+func FuzzRequests(f *testing.F) {
+	sp, err := synth.Generate(synth.DS2Like(16, 3))
+	if err != nil {
+		f.Fatal(err)
+	}
+	svc, err := tivaware.NewFromMatrix(sp.Matrix, tivaware.Options{Live: true, Workers: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	srv, err := New(svc, Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	h := srv.Handler()
+
+	f.Add("GET", "/v1/rank?target=0&k=5&penalty=2&mod=3&rem=1", "")
+	f.Add("GET", "/v1/rank?target=0&candidates=1,1", "")
+	f.Add("GET", "/v1/closest?target=99&exclude=maybe", "")
+	f.Add("GET", "/v1/detour?i=0&j=0&mod=-3&rem=9", "")
+	f.Add("GET", "/v1/top?k=-2&mod=1&rem=7", "")
+	f.Add("GET", "/v1/delay?i=&j=12e9", "")
+	f.Add("GET", "/v1/analysis", "")
+	f.Add("POST", "/v1/update", `{"updates":[{"i":0,"j":1,"rtt":50}]}`)
+	f.Add("POST", "/v1/update", `{"updates":[{"i":0,"j":0,"rtt":-99}]}`)
+	f.Add("POST", "/v1/update", `{"updates":`)
+	f.Add("PUT", "/healthz", "x")
+	f.Fuzz(func(t *testing.T, method, target, body string) {
+		// Reject targets net/http itself could never deliver (and the
+		// subscribe endpoint, whose stream outlives the recorder).
+		u, err := url.ParseRequestURI(target)
+		if err != nil || !strings.HasPrefix(target, "/") || u.Path == "/v1/subscribe" {
+			return
+		}
+		switch method {
+		case http.MethodGet, http.MethodPost, http.MethodPut, http.MethodDelete, http.MethodHead:
+		default:
+			return
+		}
+		req := httptest.NewRequest(method, target, strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code == 0 {
+			t.Fatalf("%s %s: no status written", method, target)
+		}
+	})
+}

@@ -9,14 +9,20 @@
 // internal/tivclient):
 //
 //	GET  /healthz        liveness + epoch/version counters
-//	GET  /v1/rank        ?target=&k=&penalty=&exclude=&candidates=
-//	GET  /v1/closest     ?target=&penalty=&exclude=&candidates=
-//	GET  /v1/detour      ?i=&j=
-//	GET  /v1/top         ?k=
+//	GET  /v1/rank        ?target=&k=&penalty=&exclude=&candidates=&mod=&rem=
+//	GET  /v1/closest     ?target=&penalty=&exclude=&candidates=&mod=&rem=
+//	GET  /v1/detour      ?i=&j=&mod=&rem=
+//	GET  /v1/top         ?k=&mod=&rem=
 //	GET  /v1/delay       ?i=&j=
 //	GET  /v1/analysis    aggregate triangle statistics
 //	POST /v1/update      apply edge measurements (live services only)
 //	GET  /v1/subscribe   SSE stream of violated-edge change sets
+//
+// The optional mod/rem pair restricts a query to one residue class of
+// node ids — the scatter primitive a tivshard gateway uses to fan one
+// query out over its shards (see tivaware.QueryOptions.Mod). The
+// server itself serves any Backend: an in-process tivaware.Service or
+// a tivshard.Gateway, so gateways re-export this exact protocol.
 //
 // Queries run lock-free against the service's current epoch, so the
 // daemon serves concurrent requests at full GOMAXPROCS without a
@@ -27,6 +33,7 @@ package tivd
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -65,10 +72,11 @@ func (o Options) subscribeBuffer() int {
 	return 256
 }
 
-// Server serves one tivaware.Service over HTTP. Construct with New,
+// Server serves one Backend — an in-process tivaware.Service or a
+// tivshard.Gateway — over HTTP. Construct with New or NewBackend,
 // mount via Handler.
 type Server struct {
-	svc  *tivaware.Service
+	b    Backend
 	opts Options
 	mux  *http.ServeMux
 
@@ -79,12 +87,21 @@ type Server struct {
 	closed    atomic.Bool
 }
 
-// New builds a server over svc.
+// New builds a server over an in-process service.
 func New(svc *tivaware.Service, opts Options) (*Server, error) {
 	if svc == nil {
 		return nil, fmt.Errorf("tivd: nil service")
 	}
-	s := &Server{svc: svc, opts: opts, mux: http.NewServeMux(), subCancel: make(map[int]context.CancelFunc)}
+	return NewBackend(ServiceBackend(svc), opts)
+}
+
+// NewBackend builds a server over any Backend (tivshard gateways use
+// this path); the wire surface is identical either way.
+func NewBackend(b Backend, opts Options) (*Server, error) {
+	if b == nil {
+		return nil, fmt.Errorf("tivd: nil backend")
+	}
+	s := &Server{b: b, opts: opts, mux: http.NewServeMux(), subCancel: make(map[int]context.CancelFunc)}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/rank", s.handleRank)
 	s.mux.HandleFunc("/v1/closest", s.handleClosest)
@@ -126,11 +143,12 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, tivwire.Error{Error: fmt.Sprintf(format, args...)})
 }
 
-// serviceError maps a service-layer error onto an HTTP status:
-// validation failures (the only errors the query path produces
-// besides context cancellation) are the client's fault.
+// serviceError maps a backend error onto an HTTP status: validation
+// failures (the only errors the query path produces besides context
+// cancellation) are the client's fault. Gateway backends wrap shard
+// errors, so the context check must unwrap.
 func serviceError(w http.ResponseWriter, err error) {
-	if err == context.Canceled || err == context.DeadlineExceeded {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
@@ -171,7 +189,8 @@ func floatParam(r *http.Request, name string, def float64) (float64, error) {
 }
 
 // queryOptions decodes the shared selection parameters: penalty,
-// exclude, candidates (comma-separated node ids).
+// exclude, candidates (comma-separated node ids), and the mod/rem
+// residue-class restriction sharded gateways scatter with.
 func queryOptions(r *http.Request) (tivaware.QueryOptions, error) {
 	var opts tivaware.QueryOptions
 	penalty, err := floatParam(r, "penalty", 0)
@@ -179,6 +198,9 @@ func queryOptions(r *http.Request) (tivaware.QueryOptions, error) {
 		return opts, err
 	}
 	opts.SeverityPenalty = penalty
+	if opts.Mod, opts.Rem, err = residueParams(r); err != nil {
+		return opts, err
+	}
 	switch raw := r.URL.Query().Get("exclude"); raw {
 	case "", "false", "0":
 	case "true", "1":
@@ -198,21 +220,33 @@ func queryOptions(r *http.Request) (tivaware.QueryOptions, error) {
 	return opts, nil
 }
 
+// residueParams decodes the mod/rem residue-class restriction
+// (validated downstream by the query layer).
+func residueParams(r *http.Request) (mod, rem int, err error) {
+	if mod, err = intParam(r, "mod", 0); err != nil {
+		return 0, 0, err
+	}
+	if rem, err = intParam(r, "rem", 0); err != nil {
+		return 0, 0, err
+	}
+	return mod, rem, nil
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	v, err := s.svc.View(r.Context())
+	epoch, version, err := s.b.Health(r.Context())
 	if err != nil {
 		serviceError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, tivwire.Health{
 		Status:  "ok",
-		N:       s.svc.N(),
-		Live:    s.svc.Live(),
-		Epoch:   v.Seq(),
-		Version: v.Version(),
+		N:       s.b.N(),
+		Live:    s.b.Live(),
+		Epoch:   epoch,
+		Version: version,
 	})
 }
 
@@ -239,12 +273,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	view, err := s.svc.View(r.Context())
-	if err != nil {
-		serviceError(w, err)
-		return
-	}
-	ranked, err := view.Rank(r.Context(), target, opts.Candidates, opts)
+	ranked, epoch, err := s.b.Rank(r.Context(), target, opts.Candidates, opts)
 	if err != nil {
 		serviceError(w, err)
 		return
@@ -254,7 +283,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		ranked = ranked[:k]
 		truncated = true
 	}
-	resp := tivwire.RankResponse{Target: target, Epoch: view.Seq(), Truncated: truncated,
+	resp := tivwire.RankResponse{Target: target, Epoch: epoch, Truncated: truncated,
 		Selections: make([]tivwire.Selection, len(ranked))}
 	for i, sel := range ranked {
 		resp.Selections[i] = tivwire.FromSelection(sel)
@@ -276,18 +305,13 @@ func (s *Server) handleClosest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	view, err := s.svc.View(r.Context())
-	if err != nil {
-		serviceError(w, err)
-		return
-	}
-	sel, err := view.ClosestNode(r.Context(), target, opts)
+	sel, epoch, err := s.b.ClosestNode(r.Context(), target, opts)
 	if err != nil {
 		serviceError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, tivwire.RankResponse{
-		Target: target, Epoch: view.Seq(),
+		Target: target, Epoch: epoch,
 		Selections: []tivwire.Selection{tivwire.FromSelection(sel)},
 	})
 }
@@ -306,17 +330,17 @@ func (s *Server) handleDetour(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	view, err := s.svc.View(r.Context())
+	mod, rem, err := residueParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	d, epoch, err := s.b.DetourPath(r.Context(), i, j, mod, rem)
 	if err != nil {
 		serviceError(w, err)
 		return
 	}
-	d, err := view.DetourPath(r.Context(), i, j)
-	if err != nil {
-		serviceError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, tivwire.DetourResponse{Epoch: view.Seq(), Detour: tivwire.FromDetour(d)})
+	writeJSON(w, http.StatusOK, tivwire.DetourResponse{Epoch: epoch, Detour: tivwire.FromDetour(d)})
 }
 
 func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
@@ -332,12 +356,17 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "parameter k: %d outside [1,%d]", k, s.opts.maxRankK())
 		return
 	}
-	view, err := s.svc.View(r.Context())
+	mod, rem, err := residueParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	edges, epoch, err := s.b.TopEdges(r.Context(), k, mod, rem)
 	if err != nil {
 		serviceError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, tivwire.TopResponse{Epoch: view.Seq(), Edges: tivwire.FromEdges(view.TopEdges(k))})
+	writeJSON(w, http.StatusOK, tivwire.TopResponse{Epoch: epoch, Edges: tivwire.FromEdges(edges)})
 }
 
 func (s *Server) handleDelay(w http.ResponseWriter, r *http.Request) {
@@ -354,16 +383,15 @@ func (s *Server) handleDelay(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if i < 0 || j < 0 || i >= s.svc.N() || j >= s.svc.N() {
-		writeError(w, http.StatusBadRequest, "pair (%d,%d) out of range [0,%d)", i, j, s.svc.N())
+	if i < 0 || j < 0 || i >= s.b.N() || j >= s.b.N() {
+		writeError(w, http.StatusBadRequest, "pair (%d,%d) out of range [0,%d)", i, j, s.b.N())
 		return
 	}
-	view, err := s.svc.View(r.Context())
+	d, ok, err := s.b.Delay(r.Context(), i, j)
 	if err != nil {
 		serviceError(w, err)
 		return
 	}
-	d, ok := view.Delay(i, j)
 	if !ok {
 		d = -1
 	}
@@ -374,20 +402,19 @@ func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	view, err := s.svc.View(r.Context())
-	if err != nil {
+	an, epoch, version, err := s.b.Analysis(r.Context())
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		serviceError(w, err)
 		return
 	}
-	an, err := view.Analysis()
 	if err != nil {
 		writeError(w, http.StatusConflict, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, tivwire.AnalysisResponse{
-		Epoch:                     view.Seq(),
-		Version:                   view.Version(),
-		N:                         s.svc.N(),
+		Epoch:                     epoch,
+		Version:                   version,
+		N:                         s.b.N(),
 		ViolatingTriangles:        an.ViolatingTriangles,
 		Triangles:                 an.Triangles,
 		ViolatingTriangleFraction: an.ViolatingTriangleFraction(),
@@ -398,7 +425,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
-	if !s.svc.Live() {
+	if !s.b.Live() {
 		writeError(w, http.StatusConflict, "updates require a live service (tivd -live)")
 		return
 	}
@@ -412,7 +439,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "empty update batch")
 		return
 	}
-	cs, err := s.svc.ApplyBatch(req.ToUpdates())
+	cs, err := s.b.ApplyBatch(r.Context(), req.ToUpdates())
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -431,7 +458,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	if !s.svc.Live() {
+	if !s.b.Live() {
 		writeError(w, http.StatusConflict, "subscriptions require a live service (tivd -live)")
 		return
 	}
@@ -464,7 +491,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 
 	events := make(chan tiv.ChangeSet, s.opts.subscribeBuffer())
 	var overflow atomic.Bool
-	cancel, err := s.svc.Subscribe(func(cs tiv.ChangeSet) {
+	cancel, err := s.b.Subscribe(func(cs tiv.ChangeSet) {
 		select {
 		case events <- cs:
 		default:
@@ -486,7 +513,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	// An initial comment line confirms the stream is open before any
 	// event arrives (clients use it as the subscription handshake).
-	fmt.Fprintf(w, ": subscribed n=%d\n\n", s.svc.N())
+	fmt.Fprintf(w, ": subscribed n=%d\n\n", s.b.N())
 	flusher.Flush()
 
 	for {

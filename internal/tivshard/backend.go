@@ -1,0 +1,122 @@
+package tivshard
+
+import (
+	"context"
+	"sync/atomic"
+
+	"tivaware/internal/delayspace"
+	"tivaware/internal/tiv"
+	"tivaware/internal/tivaware"
+	"tivaware/internal/tivwire"
+)
+
+// Backend adapts a Gateway to the shape the tivd HTTP server serves
+// (it satisfies tivd.Backend structurally — this package never
+// imports tivd), so `tivd -shards` re-exports a whole cluster behind
+// the exact wire protocol a single daemon speaks. Epoch stamps are
+// the gateway generation; subscription event versions are a
+// gateway-local counter (shard monitor versions interleave and are
+// preserved inside each ShardChangeSet, not here).
+type Backend struct {
+	g *Gateway
+	// eventSeq numbers the fan-in events delivered through this
+	// backend, standing in for the per-shard monitor versions that do
+	// not totally order across shards.
+	eventSeq atomic.Uint64
+}
+
+// Backend returns the tivd-servable adapter.
+func (g *Gateway) Backend() *Backend { return &Backend{g: g} }
+
+// N returns the node count.
+func (b *Backend) N() int { return b.g.N() }
+
+// Live reports whether every shard accepts updates.
+func (b *Backend) Live() bool { return b.g.Live() }
+
+// Health returns the gateway generation and the highest shard source
+// version.
+func (b *Backend) Health(ctx context.Context) (uint64, uint64, error) {
+	h, err := b.g.Healthz(ctx)
+	if err != nil {
+		return 0, 0, err
+	}
+	return h.Epoch, h.Version, nil
+}
+
+// Rank scatter-gathers the ranking; see Gateway.Rank.
+func (b *Backend) Rank(ctx context.Context, target int, candidates []int, opts tivaware.QueryOptions) ([]tivaware.Selection, uint64, error) {
+	sels, err := b.g.Rank(ctx, target, candidates, opts)
+	return sels, b.g.Generation(), err
+}
+
+// ClosestNode returns the globally best-ranked candidate.
+func (b *Backend) ClosestNode(ctx context.Context, target int, opts tivaware.QueryOptions) (tivaware.Selection, uint64, error) {
+	sel, err := b.g.ClosestNode(ctx, target, opts)
+	return sel, b.g.Generation(), err
+}
+
+// DetourPath reduces the per-shard relay scans; see
+// Gateway.DetourPathMod.
+func (b *Backend) DetourPath(ctx context.Context, i, j, mod, rem int) (tivaware.Detour, uint64, error) {
+	d, err := b.g.DetourPathMod(ctx, i, j, mod, rem)
+	return d, b.g.Generation(), err
+}
+
+// TopEdges merges the per-shard owned-edge rankings; see
+// Gateway.TopEdgesMod.
+func (b *Backend) TopEdges(ctx context.Context, k, mod, rem int) ([]delayspace.Edge, uint64, error) {
+	edges, err := b.g.TopEdgesMod(ctx, k, mod, rem)
+	return edges, b.g.Generation(), err
+}
+
+// Delay is answered by the edge's owning shard.
+func (b *Backend) Delay(ctx context.Context, i, j int) (float64, bool, error) {
+	return b.g.Delay(ctx, i, j)
+}
+
+// Analysis returns the agreement-checked triangle totals of the
+// cluster (severity and count fields stay nil: edge-level data is
+// served by rank/top, as on a monolithic daemon).
+func (b *Backend) Analysis(ctx context.Context) (tiv.Analysis, uint64, uint64, error) {
+	a, err := b.g.Analysis(ctx)
+	if err != nil {
+		return tiv.Analysis{}, 0, 0, err
+	}
+	return tiv.Analysis{
+		ViolatingTriangles: a.ViolatingTriangles,
+		Triangles:          a.Triangles,
+	}, a.Epoch, a.Version, nil
+}
+
+// ApplyBatch replicates the batch across the cluster; see
+// Gateway.ApplyBatch.
+func (b *Backend) ApplyBatch(ctx context.Context, updates []tiv.Update) (tiv.ChangeSet, error) {
+	wire := make([]tivwire.Update, len(updates))
+	for k, u := range updates {
+		wire[k] = tivwire.Update{I: u.I, J: u.J, RTT: u.RTT}
+	}
+	cs, err := b.g.ApplyBatch(ctx, wire)
+	if err != nil {
+		return tiv.ChangeSet{}, err
+	}
+	return tiv.ChangeSet{
+		Version:       cs.Version,
+		Rescan:        cs.Rescan,
+		NewlyViolated: tivwire.ToEdges(cs.NewlyViolated),
+		Cleared:       tivwire.ToEdges(cs.Cleared),
+	}, nil
+}
+
+// Subscribe flattens the fan-in stream to plain change sets for the
+// SSE handler, renumbering versions with the backend event counter.
+func (b *Backend) Subscribe(fn func(tiv.ChangeSet)) (func(), error) {
+	return b.g.Subscribe(func(ev ShardChangeSet) {
+		fn(tiv.ChangeSet{
+			Version:       b.eventSeq.Add(1),
+			Rescan:        ev.Changes.Rescan,
+			NewlyViolated: tivwire.ToEdges(ev.Changes.NewlyViolated),
+			Cleared:       tivwire.ToEdges(ev.Changes.Cleared),
+		})
+	})
+}

@@ -1,0 +1,763 @@
+// Package tivshard is the sharded TIV query plane: a Gateway that
+// fronts K backend tivd shard daemons and answers the full TIV-aware
+// query surface by scatter-gathering over internal/tivclient.
+//
+// # Partitioning scheme
+//
+// Node ids are partitioned round-robin: shard s owns the residue
+// class {v : v mod K == s}, and edge (i, j), i < j, is owned by
+// owner(i) — every edge has exactly one owner, so the owned-edge sets
+// partition the edge set. Every shard holds a full replica of the
+// delay matrix: per-edge TIV severity is a global property (any third
+// node can witness a violation of any edge), so a shard that held
+// only its own rows could not compute exact severities without
+// per-query cross-shard traffic — the communication bottleneck the
+// distributed triangle-detection literature (CONGEST triangle
+// finding, expander-decomposition detection) works around. This plane
+// therefore replicates the data and partitions the *work* and the
+// *authority*: each shard scans only its residue class per query, and
+// each delta stream is authoritative only for the edges its shard
+// owns.
+//
+// # Merge semantics
+//
+// Rank/KClosest/ClosestNode scatter the query with one residue class
+// per shard (tivaware.QueryOptions.Mod/Rem) and k-way merge the
+// per-shard rankings by (Score, Node) — the exact comparator the
+// monolithic service sorts with, so the merged ranking is identical
+// to the monolithic one. DetourPath scans each shard's relay class
+// remotely and reduces to the smallest via delay (ties to the lowest
+// relay id), which reproduces the monolithic first-strict-minimum
+// scan exactly. TopEdges merges the per-shard owned-edge rankings by
+// (severity desc, edge asc). Analysis queries every shard and
+// requires the integer triangle totals to agree exactly — a built-in
+// replica-divergence detector. The differential suite in this package
+// pins gateway ≡ monolithic tivaware.Service over the same matrix.
+//
+// # Updates and subscriptions
+//
+// ApplyUpdate/ApplyBatch replicate each batch to every shard so the
+// replicas stay in sync, serialized per owning shard (batches whose
+// edges are owned by disjoint shards proceed concurrently; batches
+// sharing an owner are totally ordered, so every replica applies
+// same-edge updates in the same order). The owning shard of the first
+// edge is applied first and its change set is the one returned.
+// Subscribe fans the K shard SSE streams into one stream of
+// ShardChangeSets, each filtered to the edges its shard owns: because
+// the owned-edge sets partition the edge set and every shard applies
+// every update, each violated-edge transition is delivered exactly
+// once, on its owner's stream.
+package tivshard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tivaware/internal/delayspace"
+	"tivaware/internal/tiv"
+	"tivaware/internal/tivaware"
+	"tivaware/internal/tivclient"
+	"tivaware/internal/tivwire"
+)
+
+// Options configures a Gateway. The zero value is valid.
+type Options struct {
+	// HTTPClient overrides the transport for all shard clients; nil
+	// means http.DefaultClient. It must not carry a global timeout if
+	// Subscribe is used (shard streams are long-lived).
+	HTTPClient *http.Client
+	// ResubscribeDelay is the pause before re-attaching a dropped
+	// shard event stream; zero means 500ms.
+	ResubscribeDelay time.Duration
+}
+
+func (o Options) resubscribeDelay() time.Duration {
+	if o.ResubscribeDelay > 0 {
+		return o.ResubscribeDelay
+	}
+	return 500 * time.Millisecond
+}
+
+// Gateway scatter-gathers TIV queries over K shard daemons. It
+// implements tivaware.Querier (consumers written against the seam run
+// unchanged against one service, one daemon, or a sharded cluster)
+// and, structurally, the tivd Backend — so cmd/tivd -shards serves a
+// gateway over the identical wire protocol shard daemons speak.
+//
+// A Gateway is safe for concurrent use.
+type Gateway struct {
+	clients []*tivclient.Client
+	k       int
+	n       int
+	live    bool
+	opts    Options
+
+	// gen counts update batches routed through this gateway; it is
+	// the epoch stamp of gateway responses (cross-shard queries have
+	// no shared service epoch to report).
+	gen atomic.Uint64
+
+	// ownerMu[s] serializes update batches touching edges owned by
+	// shard s, keeping the replicas' same-edge apply order identical.
+	ownerMu []sync.Mutex
+
+	// Subscription fan-in state.
+	subMu      sync.Mutex
+	subs       []gwSubscriber
+	nextSub    int
+	pumpCtx    context.Context
+	pumpCancel context.CancelFunc
+	pumpWG     sync.WaitGroup
+	// pumpAttach is the in-flight or completed pump startup; nil when
+	// pumps are down (never started, or torn down after a failed
+	// attach). Every Subscribe call waits on it, so concurrent
+	// subscribers all get the attach result instead of one racing
+	// ahead on an attach that then fails.
+	pumpAttach *pumpAttach
+	closed     bool
+}
+
+// pumpAttach carries one pump-startup attempt: done closes when the
+// attach resolved, err is its result.
+type pumpAttach struct {
+	done chan struct{}
+	err  error
+}
+
+type gwSubscriber struct {
+	id int
+	fn func(ShardChangeSet)
+}
+
+// ShardChangeSet is one element of the gateway's fan-in stream: a
+// shard's violated-edge change set filtered down to the edges that
+// shard owns. Changes.Version is the shard's own monitor version
+// (version counters are per shard, not global).
+type ShardChangeSet struct {
+	// Shard is the index of the authoritative shard.
+	Shard int
+	// Changes carries the owned-edge deltas. A Rescan change set with
+	// no deltas marks a torn shard stream: one is delivered when the
+	// stream tears (events may be missing from here on) and another
+	// once it re-attached — a resync (TopEdges) triggered by that
+	// second marker is gap-free, because the re-attach handshake
+	// precedes it.
+	Changes tivwire.ChangeSet
+}
+
+var _ tivaware.Querier = (*Gateway)(nil)
+
+// New builds a gateway over the shard daemons at shardURLs, probing
+// each shard's health: the shards must all serve the same node count.
+// The shard order defines the partition (shard s owns node ids ≡ s
+// mod K), so every gateway over the same cluster must list the shards
+// in the same order.
+func New(ctx context.Context, shardURLs []string, opts Options) (*Gateway, error) {
+	if len(shardURLs) == 0 {
+		return nil, fmt.Errorf("tivshard: no shard URLs")
+	}
+	g := &Gateway{
+		k:       len(shardURLs),
+		opts:    opts,
+		ownerMu: make([]sync.Mutex, len(shardURLs)),
+	}
+	for _, u := range shardURLs {
+		g.clients = append(g.clients, tivclient.New(u, tivclient.Options{HTTPClient: opts.HTTPClient}))
+	}
+	healths := make([]tivwire.Health, g.k)
+	err := g.scatter(ctx, func(ctx context.Context, s int, c *tivclient.Client) error {
+		h, err := c.Healthz(ctx)
+		healths[s] = h
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	g.n = healths[0].N
+	g.live = true
+	for s, h := range healths {
+		if h.N != g.n {
+			return nil, fmt.Errorf("tivshard: shard %d serves %d nodes, shard 0 serves %d", s, h.N, g.n)
+		}
+		if !h.Live {
+			g.live = false
+		}
+	}
+	g.pumpCtx, g.pumpCancel = context.WithCancel(context.Background())
+	return g, nil
+}
+
+// K returns the shard count.
+func (g *Gateway) K() int { return g.k }
+
+// N returns the node count.
+func (g *Gateway) N() int { return g.n }
+
+// Live reports whether every shard accepts updates and subscriptions.
+func (g *Gateway) Live() bool { return g.live }
+
+// Generation returns the number of update batches routed through this
+// gateway (the epoch stamp of its responses).
+func (g *Gateway) Generation() uint64 { return g.gen.Load() }
+
+// Close stops the subscription fan-in pumps. It does not touch the
+// shard daemons.
+func (g *Gateway) Close() {
+	g.subMu.Lock()
+	g.closed = true
+	g.subs = nil
+	cancel := g.pumpCancel
+	g.subMu.Unlock()
+	cancel()
+	g.pumpWG.Wait()
+}
+
+// owner returns the shard owning node id v.
+func (g *Gateway) owner(v int) int { return v % g.k }
+
+// edgeOwner returns the shard owning edge (i, j): the owner of the
+// lower endpoint.
+func (g *Gateway) edgeOwner(i, j int) int {
+	if j < i {
+		i = j
+	}
+	return g.owner(i)
+}
+
+// scatter runs fn once per shard concurrently and waits for all of
+// them; shard errors are annotated with the shard index and joined.
+func (g *Gateway) scatter(ctx context.Context, fn func(ctx context.Context, shard int, c *tivclient.Client) error) error {
+	errs := make([]error, g.k)
+	var wg sync.WaitGroup
+	for s, c := range g.clients {
+		wg.Add(1)
+		go func(s int, c *tivclient.Client) {
+			defer wg.Done()
+			if err := fn(ctx, s, c); err != nil {
+				errs[s] = fmt.Errorf("tivshard: shard %d (%s): %w", s, c.BaseURL(), err)
+			}
+		}(s, c)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// mergeSorted k-way merges per-shard result lists (each sorted by
+// less) into one list sorted by less, stopping at limit elements
+// (< 0 means all). With the monolithic comparator and per-class
+// inputs, the merged order is exactly the monolithic order.
+func mergeSorted[T any](lists [][]T, less func(a, b T) bool, limit int) []T {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	if limit < 0 || limit > total {
+		limit = total
+	}
+	out := make([]T, 0, limit)
+	idx := make([]int, len(lists))
+	for len(out) < limit {
+		best := -1
+		for s, l := range lists {
+			if idx[s] >= len(l) {
+				continue
+			}
+			if best < 0 || less(l[idx[s]], lists[best][idx[best]]) {
+				best = s
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, lists[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
+// withClass returns opts restricted to shard s's residue class.
+func (g *Gateway) withClass(opts tivaware.QueryOptions, s int) tivaware.QueryOptions {
+	opts.Mod, opts.Rem = g.k, s
+	return opts
+}
+
+// classShard validates a caller-supplied residue class and picks the
+// replica that answers it. Validation must happen here, before the
+// class indexes a shard: a monolithic daemon rejects a bad residue
+// with an error from the query layer, and the gateway must be
+// wire-compatible (and not let a remote caller panic it).
+func (g *Gateway) classShard(mod, rem int) (int, error) {
+	if mod < 0 {
+		return 0, fmt.Errorf("tivshard: negative residue modulus %d", mod)
+	}
+	if rem < 0 || rem >= mod {
+		return 0, fmt.Errorf("tivshard: residue %d outside [0,%d)", rem, mod)
+	}
+	return rem % g.k, nil
+}
+
+// Rank scores the candidates for the target, best first, by
+// scattering one residue class to each shard and k-way merging the
+// per-shard rankings; see tivaware.Service.Rank. A query already
+// carrying a residue restriction is routed to a single shard (every
+// shard holds the full replica, so any shard answers any class).
+func (g *Gateway) Rank(ctx context.Context, target int, candidates []int, opts tivaware.QueryOptions) ([]tivaware.Selection, error) {
+	if opts.Mod != 0 {
+		s, err := g.classShard(opts.Mod, opts.Rem)
+		if err != nil {
+			return nil, err
+		}
+		return g.clients[s].Rank(ctx, target, candidates, opts)
+	}
+	lists := make([][]tivaware.Selection, g.k)
+	err := g.scatter(ctx, func(ctx context.Context, s int, c *tivclient.Client) error {
+		part, err := c.Rank(ctx, target, candidates, g.withClass(opts, s))
+		lists[s] = part
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeSorted(lists, tivaware.SelectionLess, -1), nil
+}
+
+// KClosest returns the k best-ranked candidates for the target: each
+// shard returns the k best of its class, and the merge keeps the
+// global k best.
+func (g *Gateway) KClosest(ctx context.Context, target, k int, opts tivaware.QueryOptions) ([]tivaware.Selection, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("tivshard: KClosest k = %d, want > 0", k)
+	}
+	if opts.Mod != 0 {
+		s, err := g.classShard(opts.Mod, opts.Rem)
+		if err != nil {
+			return nil, err
+		}
+		return g.clients[s].KClosest(ctx, target, k, opts)
+	}
+	lists := make([][]tivaware.Selection, g.k)
+	err := g.scatter(ctx, func(ctx context.Context, s int, c *tivclient.Client) error {
+		part, err := c.KClosest(ctx, target, k, g.withClass(opts, s))
+		lists[s] = part
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeSorted(lists, tivaware.SelectionLess, k), nil
+}
+
+// ClosestNode returns the best-ranked candidate for the target. It
+// errors when no shard has an eligible candidate.
+func (g *Gateway) ClosestNode(ctx context.Context, target int, opts tivaware.QueryOptions) (tivaware.Selection, error) {
+	ranked, err := g.KClosest(ctx, target, 1, opts)
+	if err != nil {
+		return tivaware.Selection{}, err
+	}
+	if len(ranked) == 0 {
+		return tivaware.Selection{}, fmt.Errorf("tivshard: no eligible candidate for node %d", target)
+	}
+	return ranked[0], nil
+}
+
+// DetourPath finds the best one-hop detour for (i, j): each shard
+// scans its relay class, and the per-class bests reduce to the
+// smallest via delay, ties to the lowest relay id — exactly the
+// monolithic scan's first strict minimum.
+func (g *Gateway) DetourPath(ctx context.Context, i, j int) (tivaware.Detour, error) {
+	return g.DetourPathMod(ctx, i, j, 0, 0)
+}
+
+// DetourPathMod restricts the relay scan to the residue class
+// (mod, rem); mod 0 scans everything (scattered across the shards),
+// any other class is routed to a single replica.
+func (g *Gateway) DetourPathMod(ctx context.Context, i, j, mod, rem int) (tivaware.Detour, error) {
+	if mod != 0 {
+		s, err := g.classShard(mod, rem)
+		if err != nil {
+			return tivaware.Detour{}, err
+		}
+		return g.clients[s].DetourPathMod(ctx, i, j, mod, rem)
+	}
+	parts := make([]tivaware.Detour, g.k)
+	err := g.scatter(ctx, func(ctx context.Context, s int, c *tivclient.Client) error {
+		d, err := c.DetourPathMod(ctx, i, j, g.k, s)
+		parts[s] = d
+		return err
+	})
+	if err != nil {
+		return tivaware.Detour{}, err
+	}
+	best := tivaware.Detour{I: i, J: j, Via: -1, Direct: parts[0].Direct}
+	for _, d := range parts {
+		if d.Via < 0 {
+			continue
+		}
+		if best.Via < 0 || d.ViaDelay < best.ViaDelay ||
+			(d.ViaDelay == best.ViaDelay && d.Via < best.Via) {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// TopEdges returns the k globally worst edges by severity: each shard
+// ranks the edges it owns, and the disjoint per-shard rankings merge
+// into the exact global ranking.
+func (g *Gateway) TopEdges(ctx context.Context, k int) ([]delayspace.Edge, error) {
+	return g.TopEdgesMod(ctx, k, 0, 0)
+}
+
+// TopEdgesMod restricts the ranking to the residue class (mod, rem);
+// mod 0 covers every edge via the owned-class scatter.
+func (g *Gateway) TopEdgesMod(ctx context.Context, k, mod, rem int) ([]delayspace.Edge, error) {
+	if mod != 0 {
+		s, err := g.classShard(mod, rem)
+		if err != nil {
+			return nil, err
+		}
+		return g.clients[s].TopEdgesMod(ctx, k, mod, rem)
+	}
+	lists := make([][]delayspace.Edge, g.k)
+	err := g.scatter(ctx, func(ctx context.Context, s int, c *tivclient.Client) error {
+		part, err := c.TopEdgesMod(ctx, k, g.k, s)
+		lists[s] = part
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeSorted(lists, tiv.EdgeLess, k), nil
+}
+
+// Delay returns the delay estimate for (i, j), answered by the edge's
+// owning shard.
+func (g *Gateway) Delay(ctx context.Context, i, j int) (float64, bool, error) {
+	return g.clients[g.edgeOwner(i, j)].Delay(ctx, i, j)
+}
+
+// Analysis returns the aggregate triangle statistics. Every shard is
+// queried and the integer totals must agree exactly — a disagreement
+// means the replicas diverged (e.g. an update reached only part of
+// the cluster) and is returned as an error rather than papered over.
+func (g *Gateway) Analysis(ctx context.Context) (tivwire.AnalysisResponse, error) {
+	parts := make([]tivwire.AnalysisResponse, g.k)
+	err := g.scatter(ctx, func(ctx context.Context, s int, c *tivclient.Client) error {
+		a, err := c.Analysis(ctx)
+		parts[s] = a
+		return err
+	})
+	if err != nil {
+		return tivwire.AnalysisResponse{}, err
+	}
+	out := parts[0]
+	for s := 1; s < g.k; s++ {
+		if parts[s].ViolatingTriangles != out.ViolatingTriangles ||
+			parts[s].Triangles != out.Triangles || parts[s].N != out.N {
+			return tivwire.AnalysisResponse{}, fmt.Errorf(
+				"tivshard: replicas diverged: shard %d reports %d/%d violating triangles over %d nodes, shard 0 %d/%d over %d",
+				s, parts[s].ViolatingTriangles, parts[s].Triangles, parts[s].N,
+				out.ViolatingTriangles, out.Triangles, out.N)
+		}
+	}
+	out.Epoch = g.gen.Load()
+	return out, nil
+}
+
+// ApplyUpdate streams one edge measurement into the cluster; see
+// ApplyBatch.
+func (g *Gateway) ApplyUpdate(ctx context.Context, i, j int, rtt float64) (tivwire.ChangeSet, error) {
+	return g.ApplyBatch(ctx, []tivwire.Update{{I: i, J: j, RTT: rtt}})
+}
+
+// ApplyBatch replicates one update batch to every shard, owner first,
+// holding the owner locks of every touched edge so replicas apply
+// same-edge updates in one global order. The returned change set is
+// the one the owning shard of the first edge computed. A transport
+// failure mid-broadcast leaves the replicas inconsistent (the error
+// says so); Analysis detects divergence after the fact.
+func (g *Gateway) ApplyBatch(ctx context.Context, updates []tivwire.Update) (tivwire.ChangeSet, error) {
+	if len(updates) == 0 {
+		return tivwire.ChangeSet{}, fmt.Errorf("tivshard: empty update batch")
+	}
+	// Validate locally before any shard sees the batch, so a bad
+	// update cannot be applied by some replicas and rejected by
+	// others (shard-side validation is deterministic, but failing
+	// fast here keeps the whole batch all-or-nothing).
+	for _, u := range updates {
+		if u.I < 0 || u.J < 0 || u.I >= g.n || u.J >= g.n {
+			return tivwire.ChangeSet{}, fmt.Errorf("tivshard: update (%d,%d) out of range [0,%d)", u.I, u.J, g.n)
+		}
+		if u.I == u.J {
+			return tivwire.ChangeSet{}, fmt.Errorf("tivshard: update on diagonal (%d,%d)", u.I, u.J)
+		}
+	}
+	primary := g.edgeOwner(updates[0].I, updates[0].J)
+	owners := make([]bool, g.k)
+	for _, u := range updates {
+		owners[g.edgeOwner(u.I, u.J)] = true
+	}
+	locked := make([]int, 0, g.k)
+	for s := 0; s < g.k; s++ {
+		if owners[s] {
+			locked = append(locked, s)
+		}
+	}
+	// Ascending lock order prevents deadlock between racing batches.
+	for _, s := range locked {
+		g.ownerMu[s].Lock()
+	}
+	defer func() {
+		for i := len(locked) - 1; i >= 0; i-- {
+			g.ownerMu[locked[i]].Unlock()
+		}
+	}()
+
+	cs, err := g.clients[primary].ApplyBatch(ctx, updates)
+	if err != nil {
+		return tivwire.ChangeSet{}, fmt.Errorf("tivshard: shard %d (%s): %w", primary, g.clients[primary].BaseURL(), err)
+	}
+	err = g.scatter(ctx, func(ctx context.Context, s int, c *tivclient.Client) error {
+		if s == primary {
+			return nil
+		}
+		_, err := c.ApplyBatch(ctx, updates)
+		return err
+	})
+	if err != nil {
+		return tivwire.ChangeSet{}, fmt.Errorf("replicas may have diverged: %w", err)
+	}
+	g.gen.Add(1)
+	return cs, nil
+}
+
+// Subscribe registers fn for the merged fan-in stream: every shard's
+// violated-edge change sets, filtered to the edges that shard owns.
+// Per shard, no delta is lost or duplicated, and each change set
+// carries its shard monitor version, which totally orders that
+// shard's applies — change sets of updates that *raced* on one shard
+// may be delivered slightly out of apply order (the service fans out
+// after releasing its apply lock), so exact consumers order by
+// version, as the stress-test accounting does. Across shards the
+// interleaving is unspecified. The first subscriber attaches the
+// K shard streams, and every Subscribe call — including ones racing
+// that first attach — returns success only once all stream
+// handshakes completed, so fn observes every owned-edge delta applied
+// after Subscribe returns. A torn shard stream (overflow or
+// disconnect) surfaces as Rescan-marked empty change sets for that
+// shard — one at tear time, one after the stream re-attached (see
+// ShardChangeSet); re-attaches retry every Options.ResubscribeDelay.
+func (g *Gateway) Subscribe(fn func(ShardChangeSet)) (cancel func(), err error) {
+	if fn == nil {
+		return nil, fmt.Errorf("tivshard: nil subscriber")
+	}
+	if !g.live {
+		return nil, fmt.Errorf("tivshard: Subscribe requires every shard to run live (tivd -live)")
+	}
+	g.subMu.Lock()
+	if g.closed {
+		g.subMu.Unlock()
+		return nil, fmt.Errorf("tivshard: gateway closed")
+	}
+	id := g.nextSub
+	g.nextSub++
+	g.subs = append(g.subs, gwSubscriber{id: id, fn: fn})
+	att := g.pumpAttach
+	starter := att == nil
+	if starter {
+		att = &pumpAttach{done: make(chan struct{})}
+		g.pumpAttach = att
+	}
+	g.subMu.Unlock()
+
+	if starter {
+		att.err = g.startPumps()
+		if att.err != nil {
+			// Reset so a later Subscribe retries the attach (the
+			// failed attempt cancelled pumpCtx and joined every pump).
+			g.subMu.Lock()
+			g.pumpAttach = nil
+			if !g.closed {
+				g.pumpCtx, g.pumpCancel = context.WithCancel(context.Background())
+			}
+			g.subMu.Unlock()
+		}
+		close(att.done)
+	} else {
+		// Wait for the in-flight (or completed) attach, so every
+		// subscriber — not just the first — returns success only once
+		// all shard handshakes completed.
+		<-att.done
+	}
+	if att.err != nil {
+		g.removeSub(id)
+		return nil, att.err
+	}
+	return func() { g.removeSub(id) }, nil
+}
+
+func (g *Gateway) removeSub(id int) {
+	g.subMu.Lock()
+	for k, sub := range g.subs {
+		if sub.id == id {
+			g.subs = append(g.subs[:k], g.subs[k+1:]...)
+			break
+		}
+	}
+	g.subMu.Unlock()
+}
+
+// startPumps attaches one SSE pump per shard and waits for every
+// handshake. A failed attach tears the whole fan-in down (and joins
+// every pump, so the caller may safely replace the pump context).
+func (g *Gateway) startPumps() error {
+	g.subMu.Lock()
+	ctx, cancel := g.pumpCtx, g.pumpCancel
+	g.subMu.Unlock()
+	attach := make(chan error, g.k)
+	for s := range g.clients {
+		g.pumpWG.Add(1)
+		go g.pump(ctx, s, attach)
+	}
+	var errs []error
+	for i := 0; i < g.k; i++ {
+		if err := <-attach; err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if len(errs) > 0 {
+		cancel()
+		g.pumpWG.Wait()
+		return errors.Join(errs...)
+	}
+	return nil
+}
+
+// pump drives one shard's subscription stream for the life of the
+// gateway, re-attaching (with a tear marker to the subscribers) when
+// the daemon drops it.
+func (g *Gateway) pump(ctx context.Context, shard int, attach chan<- error) {
+	defer g.pumpWG.Done()
+	var reportOnce sync.Once
+	report := func(err error) { reportOnce.Do(func() { attach <- err }) }
+	first := true
+	for {
+		ready := make(chan struct{})
+		if first {
+			// Report the attach as soon as the handshake lands (the
+			// client closes ready) — or a cancellation, so startPumps
+			// never blocks when Close races the first Subscribe.
+			go func() {
+				select {
+				case <-ready:
+					report(nil)
+				case <-ctx.Done():
+					report(ctx.Err())
+				}
+			}()
+		} else {
+			// Re-attach after a tear: the Rescan marker goes out only
+			// once the new handshake lands, so a subscriber that
+			// resyncs on the marker does it against a stream that is
+			// already delivering again — every delta applied after the
+			// resync is observed. A marker at tear time would invite a
+			// resync *before* the re-attach, silently missing the
+			// deltas applied in between.
+			go func() {
+				select {
+				case <-ready:
+					g.deliver(shard, tivwire.ChangeSet{Rescan: true})
+				case <-ctx.Done():
+				}
+			}()
+		}
+		err := g.clients[shard].Subscribe(ctx, ready, func(cs tivwire.ChangeSet) {
+			g.deliver(shard, cs)
+		})
+		if ctx.Err() != nil {
+			report(ctx.Err())
+			return
+		}
+		attached := false
+		select {
+		case <-ready: // the client closes ready on a completed handshake
+			attached = true
+		default:
+		}
+		if first && !attached {
+			// The stream failed before its handshake: report the
+			// attach error and let startPumps tear everything down.
+			report(fmt.Errorf("tivshard: shard %d (%s): %w", shard, g.clients[shard].BaseURL(), err))
+			return
+		}
+		first = false
+		// Tear-time marker: subscribers learn promptly that the shard
+		// stream is unreliable (the re-attach marker above is the one
+		// whose resync is guaranteed gap-free).
+		g.deliver(shard, tivwire.ChangeSet{Rescan: true})
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(g.opts.resubscribeDelay()):
+		}
+	}
+}
+
+// deliver filters one shard change set to the shard's owned edges and
+// fans it out. The subscriber lock is never held across callbacks.
+func (g *Gateway) deliver(shard int, cs tivwire.ChangeSet) {
+	filtered := tivwire.ChangeSet{Version: cs.Version, Rescan: cs.Rescan}
+	for _, e := range cs.NewlyViolated {
+		if g.edgeOwner(e.I, e.J) == shard {
+			filtered.NewlyViolated = append(filtered.NewlyViolated, e)
+		}
+	}
+	for _, e := range cs.Cleared {
+		if g.edgeOwner(e.I, e.J) == shard {
+			filtered.Cleared = append(filtered.Cleared, e)
+		}
+	}
+	if filtered.Empty() && !filtered.Rescan {
+		return
+	}
+	g.subMu.Lock()
+	fns := make([]func(ShardChangeSet), len(g.subs))
+	for k := range g.subs {
+		fns[k] = g.subs[k].fn
+	}
+	g.subMu.Unlock()
+	ev := ShardChangeSet{Shard: shard, Changes: filtered}
+	for _, fn := range fns {
+		fn(ev)
+	}
+}
+
+// Healthz aggregates the shard healths: the node count all shards
+// agreed on at construction, liveness as their conjunction, the
+// gateway generation as the epoch, and the highest shard source
+// version.
+func (g *Gateway) Healthz(ctx context.Context) (tivwire.Health, error) {
+	var mu sync.Mutex
+	out := tivwire.Health{Status: "ok", N: g.n, Live: g.live, Epoch: g.gen.Load()}
+	err := g.scatter(ctx, func(ctx context.Context, s int, c *tivclient.Client) error {
+		h, err := c.Healthz(ctx)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		if h.Version > out.Version {
+			out.Version = h.Version
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return tivwire.Health{}, err
+	}
+	return out, nil
+}

@@ -1,0 +1,229 @@
+// Package testcluster spins up an in-process multi-shard TIV cluster:
+// K real tivd shard servers on loopback TCP listeners, each holding
+// its own replica of one delay matrix, fronted by a tivshard.Gateway
+// (optionally itself served over HTTP). Everything runs inside the
+// calling process — no external binaries — so the differential and
+// race suites in internal/tivshard drive a genuinely networked
+// cluster under plain `go test -race`, and examples reuse the same
+// harness for multi-shard demos (the package deliberately has no
+// testing dependency; every failure is an error).
+package testcluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"tivaware/internal/delayspace"
+	"tivaware/internal/synth"
+	"tivaware/internal/tivaware"
+	"tivaware/internal/tivd"
+	"tivaware/internal/tivshard"
+)
+
+// Config configures a cluster. The zero value serves a 32-node
+// DS2-like matrix from 3 shards.
+type Config struct {
+	// N is the synthetic matrix's node count (ignored when Matrix is
+	// set); zero means 32.
+	N int
+	// Shards is the shard count K; zero means 3.
+	Shards int
+	// Seed drives the synthetic matrix; zero means 1.
+	Seed int64
+	// Matrix, when non-nil, is the source matrix. Each shard gets its
+	// own clone; the cluster never mutates the original.
+	Matrix *delayspace.Matrix
+	// Live runs every shard with an incremental monitor, accepting
+	// updates and subscriptions.
+	Live bool
+	// Workers bounds each shard's analysis parallelism. Differential
+	// tests pin 1: per-edge severity is a witness sum, so one worker
+	// makes the accumulation order — and hence every float — bit-equal
+	// across replicas and against the monolithic twin.
+	Workers int
+	// ServerOptions configures every shard's HTTP server.
+	ServerOptions tivd.Options
+	// GatewayOptions configures the gateway.
+	GatewayOptions tivshard.Options
+	// ServeGateway additionally serves the gateway itself over HTTP
+	// (GatewayURL), re-exporting the cluster behind the single-daemon
+	// wire protocol.
+	ServeGateway bool
+}
+
+func (c Config) n() int {
+	if c.N > 0 {
+		return c.N
+	}
+	return 32
+}
+
+func (c Config) shards() int {
+	if c.Shards > 0 {
+		return c.Shards
+	}
+	return 3
+}
+
+func (c Config) seed() int64 {
+	if c.Seed != 0 {
+		return c.Seed
+	}
+	return 1
+}
+
+// Shard is one running shard server.
+type Shard struct {
+	// URL is the shard's base URL on loopback.
+	URL string
+	// Service is the shard's in-process service (its matrix is the
+	// shard's private replica).
+	Service *tivaware.Service
+
+	srv *tivd.Server
+	hs  *http.Server
+}
+
+// Cluster is a running multi-shard cluster.
+type Cluster struct {
+	// Matrix is the pristine source matrix (differential twins are
+	// built over clones of it; the shards never touch it).
+	Matrix *delayspace.Matrix
+	// Shards are the running shard servers, index == shard id.
+	Shards []*Shard
+	// Gateway scatter-gathers over the shards.
+	Gateway *tivshard.Gateway
+	// GatewayURL is set when Config.ServeGateway is true.
+	GatewayURL string
+
+	cfg  Config
+	gwHS *http.Server
+	gwS  *tivd.Server
+}
+
+// Start builds the matrix, boots one tivd server per shard on a
+// loopback listener, and fronts them with a gateway. Call Close when
+// done.
+func Start(cfg Config) (*Cluster, error) {
+	m := cfg.Matrix
+	if m == nil {
+		sp, err := synth.Generate(synth.DS2Like(cfg.n(), cfg.seed()))
+		if err != nil {
+			return nil, err
+		}
+		m = sp.Matrix
+	}
+	c := &Cluster{Matrix: m, cfg: cfg}
+	urls := make([]string, 0, cfg.shards())
+	for s := 0; s < cfg.shards(); s++ {
+		svc, err := tivaware.NewFromMatrix(m.Clone(), tivaware.Options{Live: cfg.Live, Workers: cfg.Workers})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		srv, err := tivd.New(svc, cfg.ServerOptions)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		url, hs, err := serve(srv.Handler())
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.Shards = append(c.Shards, &Shard{URL: url, Service: svc, srv: srv, hs: hs})
+		urls = append(urls, url)
+	}
+	gw, err := tivshard.New(context.Background(), urls, cfg.GatewayOptions)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.Gateway = gw
+	if cfg.ServeGateway {
+		gwS, err := tivd.NewBackend(gw.Backend(), cfg.ServerOptions)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		url, hs, err := serve(gwS.Handler())
+		if err != nil {
+			c.gwS = gwS
+			c.Close()
+			return nil, err
+		}
+		c.gwS, c.gwHS, c.GatewayURL = gwS, hs, url
+	}
+	return c, nil
+}
+
+// serve binds an ephemeral loopback listener and serves h on it.
+func serve(h http.Handler) (url string, hs *http.Server, err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs = &http.Server{Handler: h}
+	go func() { _ = hs.Serve(ln) }()
+	return "http://" + ln.Addr().String(), hs, nil
+}
+
+// ShardURLs returns the shard base URLs in shard order (the order
+// that defines the partition).
+func (c *Cluster) ShardURLs() []string {
+	urls := make([]string, len(c.Shards))
+	for s, sh := range c.Shards {
+		urls[s] = sh.URL
+	}
+	return urls
+}
+
+// NewMonolith builds the differential twin: one in-process service
+// over a fresh clone of the cluster's source matrix with the same
+// liveness and worker options every shard runs with. Queries against
+// it must agree with the gateway exactly (identical update sequences
+// applied to both included).
+func (c *Cluster) NewMonolith() (*tivaware.Service, error) {
+	return tivaware.NewFromMatrix(c.Matrix.Clone(), tivaware.Options{Live: c.cfg.Live, Workers: c.cfg.Workers})
+}
+
+// Close tears the cluster down: the gateway's fan-in pumps first,
+// then every server's SSE streams, then the listeners.
+func (c *Cluster) Close() {
+	if c.Gateway != nil {
+		c.Gateway.Close()
+	}
+	if c.gwS != nil {
+		c.gwS.Close()
+	}
+	if c.gwHS != nil {
+		shutdown(c.gwHS)
+	}
+	for _, sh := range c.Shards {
+		sh.srv.Close()
+		shutdown(sh.hs)
+	}
+}
+
+func shutdown(hs *http.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		_ = hs.Close()
+	}
+}
+
+// Validate is a convenience for harness users: it errors unless the
+// gateway sees the expected shard and node counts.
+func (c *Cluster) Validate() error {
+	if got, want := c.Gateway.K(), len(c.Shards); got != want {
+		return fmt.Errorf("testcluster: gateway over %d shards, cluster has %d", got, want)
+	}
+	if got, want := c.Gateway.N(), c.Matrix.N(); got != want {
+		return fmt.Errorf("testcluster: gateway sees %d nodes, matrix has %d", got, want)
+	}
+	return nil
+}
