@@ -19,6 +19,12 @@
 //
 //	tivd -shards http://10.0.0.1:7070,http://10.0.0.2:7070,http://10.0.0.3:7070
 //
+// Rehearse failure handling against a daemon that misbehaves on
+// purpose (injected latency, 503s, torn responses, hangs, or a hard
+// crash on the Nth request — see internal/tivfault):
+//
+//	tivd -synth 200 -live -chaos err=0.05,latency=20ms,crash=5000
+//
 // Then:
 //
 //	curl 'http://127.0.0.1:7070/healthz'
@@ -47,6 +53,7 @@ import (
 	"tivaware/internal/synth"
 	"tivaware/internal/tivaware"
 	"tivaware/internal/tivd"
+	"tivaware/internal/tivfault"
 	"tivaware/internal/tivshard"
 )
 
@@ -74,8 +81,13 @@ func run(args []string, stdout io.Writer, ctx context.Context) error {
 		sample  = fs.Int("sample", 0, "estimate severities from this many third nodes (0 = exact; incompatible with -live)")
 		maxK    = fs.Int("maxk", 0, "cap on k for /v1/rank and /v1/top (0 = default 4096)")
 		shards  = fs.String("shards", "", "comma-separated shard daemon URLs: serve a scatter-gather gateway over them instead of a local matrix")
+		chaos   = fs.String("chaos", "", "inject faults into every served request, e.g. latency=50ms,jitter=10ms,err=0.05,hang=0.01,tear=0.05,crash=500,seed=7 (crash=N exits the process hard on the Nth request)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mw, err := chaosMiddleware(*chaos, stdout)
+	if err != nil {
 		return err
 	}
 	if *shards != "" {
@@ -83,7 +95,7 @@ func run(args []string, stdout io.Writer, ctx context.Context) error {
 			fs.Usage()
 			return fmt.Errorf("-shards is a pure gateway: it takes no -in/-synth/-format/-live/-sample/-workers (liveness and analysis parallelism follow the shards)")
 		}
-		return runGateway(*shards, *listen, *maxK, stdout, ctx)
+		return runGateway(*shards, *listen, *maxK, mw, stdout, ctx)
 	}
 	if (*in == "") == (*synthN == 0) {
 		fs.Usage()
@@ -131,12 +143,33 @@ func run(args []string, stdout io.Writer, ctx context.Context) error {
 		return err
 	}
 	banner := fmt.Sprintf("tivd: serving %d nodes (live=%v)", svc.N(), svc.Live())
-	return serveLoop(srv, *listen, banner, stdout, ctx, nil)
+	return serveLoop(srv, *listen, banner, mw, stdout, ctx, nil)
+}
+
+// chaosMiddleware builds the -chaos fault-injecting middleware (nil
+// when the flag is empty). The crash fault exits the process hard —
+// no drain, no cleanup — exactly like a SIGKILLed daemon, so chaos
+// harnesses can rehearse real crash-recovery against a stock binary.
+func chaosMiddleware(spec string, stdout io.Writer) (func(http.Handler) http.Handler, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	parsed, err := tivfault.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	inj := tivfault.New(parsed)
+	inj.CrashFn = func() {
+		fmt.Fprintln(os.Stderr, "tivd: -chaos crash fault: exiting hard")
+		os.Exit(137)
+	}
+	fmt.Fprintf(stdout, "tivd: CHAOS MODE: injecting faults (%s)\n", spec)
+	return inj.Handler, nil
 }
 
 // runGateway serves a tivshard gateway over the given shard daemons
 // behind the identical wire surface.
-func runGateway(shards, listen string, maxK int, stdout io.Writer, ctx context.Context) error {
+func runGateway(shards, listen string, maxK int, mw func(http.Handler) http.Handler, stdout io.Writer, ctx context.Context) error {
 	var urls []string
 	for _, u := range strings.Split(shards, ",") {
 		if u = strings.TrimSpace(u); u != "" {
@@ -165,14 +198,15 @@ func runGateway(shards, listen string, maxK int, stdout io.Writer, ctx context.C
 		return err
 	}
 	banner := fmt.Sprintf("tivd: gateway over %d shards serving %d nodes (live=%v)", gw.K(), gw.N(), gw.Live())
-	return serveLoop(srv, listen, banner, stdout, ctx, gw.Close)
+	return serveLoop(srv, listen, banner, mw, stdout, ctx, gw.Close)
 }
 
 // serveLoop binds the listener, serves until the context (nil means
 // "on SIGINT/SIGTERM") is done, and shuts down cleanly: SSE streams
 // first so the HTTP server can drain, then onShutdown (a gateway's
-// fan-in pumps), if any.
-func serveLoop(srv *tivd.Server, listen, banner string, stdout io.Writer, ctx context.Context, onShutdown func()) error {
+// fan-in pumps), if any. mw, when non-nil, wraps the served handler
+// (-chaos fault injection).
+func serveLoop(srv *tivd.Server, listen, banner string, mw func(http.Handler) http.Handler, stdout io.Writer, ctx context.Context, onShutdown func()) error {
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
@@ -184,7 +218,11 @@ func serveLoop(srv *tivd.Server, listen, banner string, stdout io.Writer, ctx co
 		ctx, stop = signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	h := http.Handler(srv.Handler())
+	if mw != nil {
+		h = mw(h)
+	}
+	hs := &http.Server{Handler: h}
 	done := make(chan error, 1)
 	go func() { done <- hs.Serve(ln) }()
 

@@ -22,10 +22,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"tivaware/internal/delayspace"
 	"tivaware/internal/tivaware"
@@ -53,17 +56,49 @@ var (
 
 // Options configures a Client. The zero value is valid.
 type Options struct {
-	// HTTPClient overrides the transport; nil means
-	// http.DefaultClient. Subscribe requires a client without a
-	// global timeout (streams are long-lived); plain queries are
-	// bounded by their context either way.
+	// HTTPClient overrides the transport; nil means a shared default
+	// transport with bounded connection phases (5s dial, 5s TLS, 15s
+	// response headers) and no whole-request timeout, so subscription
+	// streams can live forever while a dead daemon still fails fast.
+	// A custom client must likewise not carry a global timeout if
+	// Subscribe is used.
 	HTTPClient *http.Client
+	// RequestTimeout backstops every non-streaming call that arrives
+	// without a context deadline (a caller-supplied deadline always
+	// wins). Zero means 30s; negative disables the backstop.
+	RequestTimeout time.Duration
+	// HandshakeTimeout bounds a Subscribe call's attach phase: the
+	// request plus the first stream byte. Zero means 10s; negative
+	// disables. Once attached, the stream is bounded only by its
+	// context.
+	HandshakeTimeout time.Duration
 }
+
+// defaultTransport backs every client built without an explicit
+// HTTPClient. Connection-establishment phases are individually
+// bounded so a black-holed daemon surfaces as an error instead of a
+// wedged goroutine; there is deliberately no whole-request timeout
+// (SSE streams are long-lived) — per-call deadlines come from the
+// request context, backstopped by Options.RequestTimeout.
+var defaultTransport = &http.Transport{
+	Proxy:                 http.ProxyFromEnvironment,
+	DialContext:           (&net.Dialer{Timeout: 5 * time.Second, KeepAlive: 30 * time.Second}).DialContext,
+	TLSHandshakeTimeout:   5 * time.Second,
+	ResponseHeaderTimeout: 15 * time.Second,
+	ExpectContinueTimeout: time.Second,
+	IdleConnTimeout:       90 * time.Second,
+	MaxIdleConnsPerHost:   32,
+	ForceAttemptHTTP2:     true,
+}
+
+var defaultHTTPClient = &http.Client{Transport: defaultTransport}
 
 // Client talks to one tivd daemon.
 type Client struct {
-	base string
-	hc   *http.Client
+	base      string
+	hc        *http.Client
+	reqTO     time.Duration
+	handshake time.Duration
 }
 
 var _ tivaware.Querier = (*Client)(nil)
@@ -73,9 +108,29 @@ var _ tivaware.Querier = (*Client)(nil)
 func New(baseURL string, opts Options) *Client {
 	hc := opts.HTTPClient
 	if hc == nil {
-		hc = http.DefaultClient
+		hc = defaultHTTPClient
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
+	reqTO := opts.RequestTimeout
+	if reqTO == 0 {
+		reqTO = 30 * time.Second
+	}
+	handshake := opts.HandshakeTimeout
+	if handshake == 0 {
+		handshake = 10 * time.Second
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc, reqTO: reqTO, handshake: handshake}
+}
+
+// callCtx applies the RequestTimeout backstop: calls arriving without
+// a deadline get one, calls with a deadline keep theirs.
+func (c *Client) callCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.reqTO <= 0 {
+		return ctx, func() {}
+	}
+	if _, has := ctx.Deadline(); has {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, c.reqTO)
 }
 
 // get issues one GET and decodes the JSON response into out.
@@ -84,6 +139,8 @@ func (c *Client) get(ctx context.Context, path string, params url.Values, out an
 	if len(params) > 0 {
 		u += "?" + params.Encode()
 	}
+	ctx, cancel := c.callCtx(ctx)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return fmt.Errorf("tivclient: %w", err)
@@ -96,6 +153,8 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	if err != nil {
 		return fmt.Errorf("tivclient: encoding request: %w", err)
 	}
+	ctx, cancel := c.callCtx(ctx)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(raw))
 	if err != nil {
 		return fmt.Errorf("tivclient: %w", err)
@@ -104,28 +163,35 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	return c.do(req, out)
 }
 
+// do executes one request and decodes its result, classifying every
+// failure into a typed *Error (transport, server envelope, or torn
+// payload) so retry layers can tell retryable from terminal.
 func (c *Client) do(req *http.Request, out any) error {
+	op := req.Method + " " + req.URL.Path
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return fmt.Errorf("tivclient: %w", err)
+		return &Error{Op: op, Code: CodeTransport, Message: err.Error(), cause: err}
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return fmt.Errorf("tivclient: reading response: %w", err)
+		return &Error{Op: op, Code: CodeTransport, Status: resp.StatusCode,
+			Message: "reading response: " + err.Error(), cause: err}
 	}
 	if resp.StatusCode != http.StatusOK {
+		e := &Error{Op: op, Status: resp.StatusCode, Message: fmt.Sprintf("HTTP %d", resp.StatusCode)}
 		var we tivwire.Error
 		if json.Unmarshal(body, &we) == nil && we.Error != "" {
-			return fmt.Errorf("tivclient: %s %s: %s", req.Method, req.URL.Path, we.Error)
+			e.Message, e.Code, e.RetryAfter = we.Error, we.Code, retryAfter(we.RetryAfter)
 		}
-		return fmt.Errorf("tivclient: %s %s: HTTP %d", req.Method, req.URL.Path, resp.StatusCode)
+		return e
 	}
 	if out == nil {
 		return nil
 	}
 	if err := json.Unmarshal(body, out); err != nil {
-		return fmt.Errorf("tivclient: decoding response: %w", err)
+		return &Error{Op: op, Code: CodeBadPayload, Status: resp.StatusCode,
+			Message: "decoding response: " + err.Error(), cause: err}
 	}
 	return nil
 }
@@ -348,46 +414,108 @@ func (c *Client) ApplyBatch(ctx context.Context, updates []tivwire.Update) (tivw
 // internal/tivshard's gateway automates exactly this loop per shard,
 // forwarding a Rescan marker to its subscribers when a stream tears.
 func (c *Client) Subscribe(ctx context.Context, ready chan<- struct{}, fn func(tivwire.ChangeSet)) error {
+	return c.SubscribeOpts(ctx, SubscribeOptions{Ready: ready}, fn)
+}
+
+// SubscribeOptions configures SubscribeOpts.
+type SubscribeOptions struct {
+	// Ready, if non-nil, is closed once the subscription handshake
+	// completes.
+	Ready chan<- struct{}
+	// OnHello, if non-nil, receives the stream's hello event (the
+	// state counters at attach time) before any change set is
+	// delivered. Daemons predating the hello event never invoke it.
+	OnHello func(tivwire.Hello)
+}
+
+// SubscribeOpts is Subscribe with the full option set; see Subscribe
+// for the reconnect semantics. The attach phase (request plus first
+// stream byte) is additionally bounded by Options.HandshakeTimeout,
+// so a hung daemon fails the call instead of wedging it.
+func (c *Client) SubscribeOpts(ctx context.Context, opts SubscribeOptions, fn func(tivwire.ChangeSet)) error {
 	if fn == nil {
 		return fmt.Errorf("tivclient: nil subscriber")
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/subscribe", nil)
+	// The handshake watchdog cancels the stream context if the first
+	// byte does not arrive in time; timedOut tells that cancellation
+	// apart from the caller's.
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	attached := make(chan struct{})
+	timedOut := make(chan struct{})
+	if c.handshake > 0 {
+		t := time.AfterFunc(c.handshake, func() { close(timedOut); cancel() })
+		defer t.Stop()
+		go func() {
+			select {
+			case <-attached:
+				t.Stop()
+			case <-sctx.Done():
+			}
+		}()
+	}
+
+	handshakeErr := func(err error) error {
+		select {
+		case <-timedOut:
+			return &Error{Op: "subscribe", Code: CodeTransport,
+				Message: fmt.Sprintf("handshake timed out after %v", c.handshake), cause: err}
+		default:
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		return &Error{Op: "subscribe", Code: CodeTransport, Message: err.Error(), cause: err}
+	}
+
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet, c.base+"/v1/subscribe", nil)
 	if err != nil {
 		return fmt.Errorf("tivclient: %w", err)
 	}
 	req.Header.Set("Accept", "text/event-stream")
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		if ctx.Err() != nil {
-			return nil
-		}
-		return fmt.Errorf("tivclient: %w", err)
+		return handshakeErr(err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		e := &Error{Op: "subscribe", Status: resp.StatusCode,
+			Message: fmt.Sprintf("HTTP %d", resp.StatusCode)}
 		var we tivwire.Error
 		if json.Unmarshal(body, &we) == nil && we.Error != "" {
-			return fmt.Errorf("tivclient: subscribe: %s", we.Error)
+			e.Message, e.Code, e.RetryAfter = we.Error, we.Code, retryAfter(we.RetryAfter)
 		}
-		return fmt.Errorf("tivclient: subscribe: HTTP %d", resp.StatusCode)
+		return e
 	}
 
 	// The handshake comment is the first frame the daemon flushes;
 	// any readable byte means we are attached.
-	sc := tivwire.NewSSEScanner(&readyReader{r: resp.Body, ready: ready})
+	rr := &readyReader{r: resp.Body, ready: opts.Ready, attached: attached}
+	sc := tivwire.NewSSEScanner(rr)
 	for {
 		ev, err := sc.Next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
+			if !rr.sawByte {
+				return handshakeErr(err)
+			}
 			if ctx.Err() != nil {
 				return nil
 			}
 			return fmt.Errorf("tivclient: subscription stream: %w", err)
 		}
 		switch ev.Name {
+		case "hello":
+			var h tivwire.Hello
+			if err := json.Unmarshal([]byte(ev.Data), &h); err != nil {
+				return fmt.Errorf("tivclient: decoding hello event: %w", err)
+			}
+			if opts.OnHello != nil {
+				opts.OnHello(h)
+			}
 		case "changeset":
 			var cs tivwire.ChangeSet
 			if err := json.Unmarshal([]byte(ev.Data), &cs); err != nil {
@@ -406,18 +534,148 @@ func (c *Client) Subscribe(ctx context.Context, ready chan<- struct{}, fn func(t
 	return fmt.Errorf("tivclient: %w", ErrSubscribeClosed)
 }
 
-// readyReader closes ready on the first byte read from the stream —
-// the subscription handshake signal.
+// readyReader closes ready and attached on the first byte read from
+// the stream — the subscription handshake signal.
 type readyReader struct {
-	r     io.Reader
-	ready chan<- struct{}
+	r        io.Reader
+	ready    chan<- struct{}
+	attached chan struct{}
+	sawByte  bool
 }
 
 func (r *readyReader) Read(p []byte) (int, error) {
 	n, err := r.r.Read(p)
-	if n > 0 && r.ready != nil {
-		close(r.ready)
-		r.ready = nil
+	if n > 0 && !r.sawByte {
+		r.sawByte = true
+		if r.ready != nil {
+			close(r.ready)
+			r.ready = nil
+		}
+		if r.attached != nil {
+			close(r.attached)
+			r.attached = nil
+		}
 	}
 	return n, err
+}
+
+// AutoSubscribeOptions configures AutoSubscribe.
+type AutoSubscribeOptions struct {
+	// ReconnectDelay is the base backoff between attach attempts,
+	// growing exponentially (jittered) to MaxDelay on consecutive
+	// failures and resetting after a successful attach. Zero means
+	// 250ms.
+	ReconnectDelay time.Duration
+	// MaxDelay caps the backoff; zero means 5s.
+	MaxDelay time.Duration
+	// Ready, if non-nil, is closed after the first successful
+	// handshake.
+	Ready chan<- struct{}
+}
+
+// AutoSubscribe is Subscribe with automatic reconnection: it holds a
+// subscription open across stream tears, daemon restarts, and
+// overflow disconnects until ctx is cancelled (returning nil) or a
+// terminal failure surfaces (a non-live daemon, a bad request).
+//
+// Gap handling: deltas streamed while detached are gone (the daemon
+// keeps no replay buffer), so on every reconnect AutoSubscribe
+// compares the new stream's hello version against the last change-set
+// version it delivered. Equality proves the violated-edge picture
+// survived the gap intact; anything else — including a hello-less
+// older daemon — makes fn receive a synthetic ChangeSet{Rescan: true}
+// marker first, telling the consumer to rebuild its picture (TopEdges)
+// before trusting subsequent deltas. The first attach never emits a
+// marker.
+func (c *Client) AutoSubscribe(ctx context.Context, opts AutoSubscribeOptions, fn func(tivwire.ChangeSet)) error {
+	if fn == nil {
+		return fmt.Errorf("tivclient: nil subscriber")
+	}
+	base := opts.ReconnectDelay
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	maxDelay := opts.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 5 * time.Second
+	}
+	var (
+		lastVer  uint64
+		everUp   bool // at least one attach succeeded
+		ready    = opts.Ready
+		failures int
+	)
+	for {
+		var (
+			sawHello bool
+			helloVer uint64
+			attach   = make(chan struct{})
+		)
+		err := c.SubscribeOpts(ctx, SubscribeOptions{
+			Ready: attach,
+			OnHello: func(h tivwire.Hello) {
+				sawHello, helloVer = true, h.Version
+			},
+		}, func(cs tivwire.ChangeSet) {
+			lastVer = cs.Version
+			fn(cs)
+		})
+		select {
+		case <-attach:
+			// Attached: reset the backoff, signal first readiness, and
+			// bridge any reconnect gap. The hello event precedes every
+			// change set, so sawHello is settled by the time the first
+			// delta lands; a reconnect whose hello version matches the
+			// last delivered version provably missed nothing.
+			failures = 0
+			if ready != nil {
+				close(ready)
+				ready = nil
+			}
+			if everUp && (!sawHello || helloVer != lastVer) {
+				ver := helloVer
+				if !sawHello {
+					ver = lastVer
+				}
+				lastVer = ver
+				fn(tivwire.ChangeSet{Version: ver, Rescan: true})
+			}
+			everUp = true
+		default:
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		if err == nil {
+			// Subscribe returns nil only on context cancellation.
+			return nil
+		}
+		if !errors.Is(err, ErrSubscribeOverflow) && !errors.Is(err, ErrSubscribeClosed) && !IsRetryable(err) {
+			return err
+		}
+		failures++
+		t := time.NewTimer(backoff(base, maxDelay, failures))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil
+		case <-t.C:
+		}
+	}
+}
+
+// backoff returns the jittered exponential backoff for the given
+// consecutive-failure count: base·2^(n-1), capped at max, with ±25%
+// jitter so a fleet of reconnecting subscribers does not stampede.
+func backoff(base, max time.Duration, failures int) time.Duration {
+	d := base
+	for i := 1; i < failures && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// ±25% jitter.
+	j := time.Duration(rand.Int63n(int64(d)/2+1)) - d/4
+	return d + j
 }

@@ -139,26 +139,55 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, tivwire.Error{Error: fmt.Sprintf(format, args...)})
+// writeError writes the structured error envelope: a human-readable
+// message plus the machine-readable taxonomy code (tivwire.Code*).
+// Retryable codes carry the default retry-after hint.
+func writeError(w http.ResponseWriter, status int, code string, format string, args ...any) {
+	e := tivwire.Error{Error: fmt.Sprintf(format, args...), Code: code}
+	if tivwire.RetryableCode(code) {
+		e.RetryAfter = defaultRetryAfter
+	}
+	writeJSON(w, status, e)
 }
 
-// serviceError maps a backend error onto an HTTP status: validation
-// failures (the only errors the query path produces besides context
-// cancellation) are the client's fault. Gateway backends wrap shard
-// errors, so the context check must unwrap.
+// defaultRetryAfter is the retry hint (seconds) attached to every
+// retryable error envelope: long enough for a transient stall to
+// clear, short enough that clients re-probe a recovering backend
+// promptly.
+const defaultRetryAfter = 0.5
+
+// serviceError maps a backend error onto an HTTP status and taxonomy
+// code. Errors that carry their own code (via WireCode — gateway
+// backends classify shard failures) win; context expiry means the
+// backend could not answer in time (unavailable, retryable);
+// everything else the query path produces is a validation failure —
+// the client's fault. Gateway backends wrap shard errors, so the
+// context check must unwrap.
 func serviceError(w http.ResponseWriter, err error) {
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	var wc interface{ WireCode() string }
+	if errors.As(err, &wc) {
+		code := wc.WireCode()
+		status := http.StatusBadRequest
+		switch code {
+		case tivwire.CodeUnavailable, tivwire.CodeInternal:
+			status = http.StatusServiceUnavailable
+		case tivwire.CodeDiverged, tivwire.CodeNotLive:
+			status = http.StatusConflict
+		}
+		writeError(w, status, code, "%v", err)
 		return
 	}
-	writeError(w, http.StatusBadRequest, "%v", err)
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		writeError(w, http.StatusServiceUnavailable, tivwire.CodeUnavailable, "%v", err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
 }
 
 func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
 	if r.Method != method {
 		w.Header().Set("Allow", method)
-		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		writeError(w, http.StatusMethodNotAllowed, tivwire.CodeMethodNotAllowed, "method %s not allowed", r.Method)
 		return false
 	}
 	return true
@@ -241,8 +270,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		serviceError(w, err)
 		return
 	}
+	// Backends that track partial failure (the tivshard gateway)
+	// surface it here: "degraded" while any shard is down, "ok"
+	// otherwise. Plain services are always "ok" when they answer.
+	status := "ok"
+	if st, ok := s.b.(interface{ Status() string }); ok {
+		status = st.Status()
+	}
 	writeJSON(w, http.StatusOK, tivwire.Health{
-		Status:  "ok",
+		Status:  status,
 		N:       s.b.N(),
 		Live:    s.b.Live(),
 		Epoch:   epoch,
@@ -256,21 +292,21 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	}
 	target, err := intParam(r, "target", -1)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
 		return
 	}
 	k, err := intParam(r, "k", s.opts.maxRankK())
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
 		return
 	}
 	if k <= 0 || k > s.opts.maxRankK() {
-		writeError(w, http.StatusBadRequest, "parameter k: %d outside [1,%d]", k, s.opts.maxRankK())
+		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "parameter k: %d outside [1,%d]", k, s.opts.maxRankK())
 		return
 	}
 	opts, err := queryOptions(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
 		return
 	}
 	ranked, epoch, err := s.b.Rank(r.Context(), target, opts.Candidates, opts)
@@ -297,12 +333,12 @@ func (s *Server) handleClosest(w http.ResponseWriter, r *http.Request) {
 	}
 	target, err := intParam(r, "target", -1)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
 		return
 	}
 	opts, err := queryOptions(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
 		return
 	}
 	sel, epoch, err := s.b.ClosestNode(r.Context(), target, opts)
@@ -322,17 +358,17 @@ func (s *Server) handleDetour(w http.ResponseWriter, r *http.Request) {
 	}
 	i, err := intParam(r, "i", -1)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
 		return
 	}
 	j, err := intParam(r, "j", -1)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
 		return
 	}
 	mod, rem, err := residueParams(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
 		return
 	}
 	d, epoch, err := s.b.DetourPath(r.Context(), i, j, mod, rem)
@@ -349,16 +385,16 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 	}
 	k, err := intParam(r, "k", 10)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
 		return
 	}
 	if k <= 0 || k > s.opts.maxRankK() {
-		writeError(w, http.StatusBadRequest, "parameter k: %d outside [1,%d]", k, s.opts.maxRankK())
+		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "parameter k: %d outside [1,%d]", k, s.opts.maxRankK())
 		return
 	}
 	mod, rem, err := residueParams(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
 		return
 	}
 	edges, epoch, err := s.b.TopEdges(r.Context(), k, mod, rem)
@@ -375,16 +411,16 @@ func (s *Server) handleDelay(w http.ResponseWriter, r *http.Request) {
 	}
 	i, err := intParam(r, "i", -1)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
 		return
 	}
 	j, err := intParam(r, "j", -1)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
 		return
 	}
 	if i < 0 || j < 0 || i >= s.b.N() || j >= s.b.N() {
-		writeError(w, http.StatusBadRequest, "pair (%d,%d) out of range [0,%d)", i, j, s.b.N())
+		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "pair (%d,%d) out of range [0,%d)", i, j, s.b.N())
 		return
 	}
 	d, ok, err := s.b.Delay(r.Context(), i, j)
@@ -408,7 +444,7 @@ func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
-		writeError(w, http.StatusConflict, "%v", err)
+		writeError(w, http.StatusConflict, tivwire.CodeDiverged, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, tivwire.AnalysisResponse{
@@ -426,22 +462,22 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.b.Live() {
-		writeError(w, http.StatusConflict, "updates require a live service (tivd -live)")
+		writeError(w, http.StatusConflict, tivwire.CodeNotLive, "updates require a live service (tivd -live)")
 		return
 	}
 	var req tivwire.UpdateRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding body: %v", err)
+		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "decoding body: %v", err)
 		return
 	}
 	if len(req.Updates) == 0 {
-		writeError(w, http.StatusBadRequest, "empty update batch")
+		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "empty update batch")
 		return
 	}
 	cs, err := s.b.ApplyBatch(r.Context(), req.ToUpdates())
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		serviceError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, tivwire.FromChangeSet(cs))
@@ -459,12 +495,12 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.b.Live() {
-		writeError(w, http.StatusConflict, "subscriptions require a live service (tivd -live)")
+		writeError(w, http.StatusConflict, tivwire.CodeNotLive, "subscriptions require a live service (tivd -live)")
 		return
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		writeError(w, http.StatusInternalServerError, tivwire.CodeInternal, "streaming unsupported by this connection")
 		return
 	}
 	ctx, stop := context.WithCancel(r.Context())
@@ -476,7 +512,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	s.subMu.Lock()
 	if s.closed.Load() {
 		s.subMu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		writeError(w, http.StatusServiceUnavailable, tivwire.CodeUnavailable, "server shutting down")
 		return
 	}
 	id := s.subSeq
@@ -502,10 +538,18 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		}
 	})
 	if err != nil {
-		writeError(w, http.StatusConflict, "%v", err)
+		serviceError(w, err)
 		return
 	}
 	defer cancel()
+
+	// The hello counters are read AFTER the subscription is live, so
+	// every change set this stream will NOT deliver (applied before
+	// registration) has version ≤ hello.Version — the invariant
+	// reconnecting clients rely on for version-gap detection (a
+	// reconnect hello equal to the last delivered version proves no
+	// delta was missed).
+	epoch, version, herr := s.b.Health(ctx)
 
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
@@ -514,6 +558,11 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	// An initial comment line confirms the stream is open before any
 	// event arrives (clients use it as the subscription handshake).
 	fmt.Fprintf(w, ": subscribed n=%d\n\n", s.b.N())
+	if herr == nil {
+		if payload, err := json.Marshal(tivwire.Hello{N: s.b.N(), Version: version, Epoch: epoch}); err == nil {
+			fmt.Fprintf(w, "event: hello\ndata: %s\n\n", payload)
+		}
+	}
 	flusher.Flush()
 
 	for {

@@ -1,0 +1,100 @@
+package tivfault
+
+import (
+	"context"
+	"fmt"
+
+	"tivaware/internal/delayspace"
+	"tivaware/internal/tiv"
+	"tivaware/internal/tivaware"
+	"tivaware/internal/tivd"
+)
+
+// Backend wraps b with fault injection below the HTTP surface: each
+// call rolls the injector's spec and either fails (ErrInjected),
+// hangs until its context dies, or proceeds (with latency). The tear
+// class has no sub-HTTP analogue and is treated as an error fault.
+// N, Live, and Subscribe pass through un-faulted — they are local
+// bookkeeping, not remote calls.
+func (i *Injector) Backend(b tivd.Backend) tivd.Backend {
+	return &faultBackend{i: i, b: b}
+}
+
+type faultBackend struct {
+	i *Injector
+	b tivd.Backend
+}
+
+// gate rolls one fault for a backend call.
+func (f *faultBackend) gate(ctx context.Context) error {
+	switch f.i.roll(ctx.Done()) {
+	case faultErr, faultTear:
+		return fmt.Errorf("tivfault: backend call: %w", ErrInjected)
+	case faultHang:
+		return hangContext(ctx)
+	}
+	return ctx.Err()
+}
+
+func (f *faultBackend) N() int     { return f.b.N() }
+func (f *faultBackend) Live() bool { return f.b.Live() }
+
+func (f *faultBackend) Health(ctx context.Context) (uint64, uint64, error) {
+	if err := f.gate(ctx); err != nil {
+		return 0, 0, err
+	}
+	return f.b.Health(ctx)
+}
+
+func (f *faultBackend) Rank(ctx context.Context, target int, candidates []int, opts tivaware.QueryOptions) ([]tivaware.Selection, uint64, error) {
+	if err := f.gate(ctx); err != nil {
+		return nil, 0, err
+	}
+	return f.b.Rank(ctx, target, candidates, opts)
+}
+
+func (f *faultBackend) ClosestNode(ctx context.Context, target int, opts tivaware.QueryOptions) (tivaware.Selection, uint64, error) {
+	if err := f.gate(ctx); err != nil {
+		return tivaware.Selection{}, 0, err
+	}
+	return f.b.ClosestNode(ctx, target, opts)
+}
+
+func (f *faultBackend) DetourPath(ctx context.Context, i, j, mod, rem int) (tivaware.Detour, uint64, error) {
+	if err := f.gate(ctx); err != nil {
+		return tivaware.Detour{}, 0, err
+	}
+	return f.b.DetourPath(ctx, i, j, mod, rem)
+}
+
+func (f *faultBackend) TopEdges(ctx context.Context, k, mod, rem int) ([]delayspace.Edge, uint64, error) {
+	if err := f.gate(ctx); err != nil {
+		return nil, 0, err
+	}
+	return f.b.TopEdges(ctx, k, mod, rem)
+}
+
+func (f *faultBackend) Delay(ctx context.Context, i, j int) (float64, bool, error) {
+	if err := f.gate(ctx); err != nil {
+		return 0, false, err
+	}
+	return f.b.Delay(ctx, i, j)
+}
+
+func (f *faultBackend) Analysis(ctx context.Context) (tiv.Analysis, uint64, uint64, error) {
+	if err := f.gate(ctx); err != nil {
+		return tiv.Analysis{}, 0, 0, err
+	}
+	return f.b.Analysis(ctx)
+}
+
+func (f *faultBackend) ApplyBatch(ctx context.Context, updates []tiv.Update) (tiv.ChangeSet, error) {
+	if err := f.gate(ctx); err != nil {
+		return tiv.ChangeSet{}, err
+	}
+	return f.b.ApplyBatch(ctx, updates)
+}
+
+func (f *faultBackend) Subscribe(fn func(tiv.ChangeSet)) (func(), error) {
+	return f.b.Subscribe(fn)
+}

@@ -1,0 +1,172 @@
+package tivfault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"tivaware/internal/tivwire"
+)
+
+// Handler wraps h with server-side fault injection: per-request
+// latency, injected 503 error envelopes (a well-formed retryable
+// failure), pre-header hangs (the request never answers until the
+// client gives up), torn responses (headers flush, then the
+// connection dies mid-body — truncated JSON on query endpoints, torn
+// streams on SSE), and crash-on-Nth-request via CrashFn.
+func (i *Injector) Handler(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !i.matches(r.URL.Path) {
+			h.ServeHTTP(w, r)
+			return
+		}
+		switch i.roll(r.Context().Done()) {
+		case faultErr:
+			writeInjected(w)
+			return
+		case faultHang:
+			<-r.Context().Done()
+			return
+		case faultTear:
+			// Let the handler run against a writer that cuts the
+			// connection after a small random byte budget.
+			tw := &tearWriter{ResponseWriter: w, remaining: i.cutBudget()}
+			h.ServeHTTP(tw, r)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// writeInjected writes the injected failure as a structured envelope,
+// indistinguishable from a genuine overloaded backend.
+func writeInjected(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintf(w, `{"error":"injected fault (tivfault)","code":%q,"retry_after":0.05}`,
+		tivwire.CodeUnavailable)
+}
+
+// cutBudget picks how many response bytes survive a tear: at least
+// one (headers and a sliver of body flush, so the client commits to
+// parsing) and few enough that any realistic JSON payload truncates.
+func (i *Injector) cutBudget() int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return 1 + i.rng.Intn(128)
+}
+
+// tearWriter forwards up to `remaining` bytes, then kills the
+// connection by panicking with http.ErrAbortHandler — net/http's
+// sanctioned way to abort a response without a graceful close, which
+// is exactly what a crashing server looks like on the wire.
+type tearWriter struct {
+	http.ResponseWriter
+	remaining int
+}
+
+func (t *tearWriter) Write(p []byte) (int, error) {
+	if t.remaining <= 0 {
+		panic(http.ErrAbortHandler)
+	}
+	n := len(p)
+	if n > t.remaining {
+		n = t.remaining
+	}
+	n, err := t.ResponseWriter.Write(p[:n])
+	t.remaining -= n
+	if t.remaining <= 0 {
+		if f, ok := t.ResponseWriter.(http.Flusher); ok {
+			f.Flush() // push the truncated prefix out before dying
+		}
+		panic(http.ErrAbortHandler)
+	}
+	return n, err
+}
+
+func (t *tearWriter) Flush() {
+	if f, ok := t.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// ErrInjected is the root of every client-side injected transport
+// failure (matched with errors.Is).
+var ErrInjected = errors.New("injected transport fault (tivfault)")
+
+// Transport wraps rt with client-side fault injection: added latency,
+// injected transport errors, hangs bounded by the request context,
+// and response bodies that cut off after a few bytes (io.ErrUnexpectedEOF
+// to the reader). nil rt wraps http.DefaultTransport.
+func (i *Injector) Transport(rt http.RoundTripper) http.RoundTripper {
+	if rt == nil {
+		rt = http.DefaultTransport
+	}
+	return &faultTransport{i: i, rt: rt}
+}
+
+type faultTransport struct {
+	i  *Injector
+	rt http.RoundTripper
+}
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if !t.i.matches(req.URL.Path) {
+		return t.rt.RoundTrip(req)
+	}
+	switch t.i.roll(req.Context().Done()) {
+	case faultErr:
+		return nil, fmt.Errorf("%s %s: %w", req.Method, req.URL.Path, ErrInjected)
+	case faultHang:
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	case faultTear:
+		resp, err := t.rt.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &tearBody{rc: resp.Body, remaining: t.i.cutBudget()}
+		return resp, nil
+	}
+	return t.rt.RoundTrip(req)
+}
+
+// tearBody truncates a response body: after the byte budget it
+// reports io.ErrUnexpectedEOF — what a torn TCP stream surfaces as —
+// and closes the underlying body so the connection is not reused.
+type tearBody struct {
+	rc        io.ReadCloser
+	remaining int
+}
+
+func (b *tearBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= n
+	if err == io.EOF {
+		return n, err
+	}
+	if b.remaining <= 0 {
+		_ = b.rc.Close()
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+	}
+	return n, err
+}
+
+func (b *tearBody) Close() error { return b.rc.Close() }
+
+// hangContext is a helper for Backend-seam hangs: it blocks until the
+// context dies and returns its error.
+func hangContext(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}

@@ -31,6 +31,11 @@ func (g *Gateway) Backend() *Backend { return &Backend{g: g} }
 // N returns the node count.
 func (b *Backend) N() int { return b.g.N() }
 
+// Status surfaces the gateway's degradation state ("ok", "degraded",
+// "stale" — see Gateway.Status) through the /healthz status field of
+// a tivd server fronting this backend.
+func (b *Backend) Status() string { return b.g.Status() }
+
 // Live reports whether every shard accepts updates.
 func (b *Backend) Live() bool { return b.g.Live() }
 

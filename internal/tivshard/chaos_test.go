@@ -1,0 +1,520 @@
+package tivshard_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"tivaware/internal/synth"
+	"tivaware/internal/tivaware"
+	"tivaware/internal/tivd"
+	"tivaware/internal/tivfault"
+	"tivaware/internal/tivshard"
+	"tivaware/internal/tivshard/testcluster"
+	"tivaware/internal/tivwire"
+)
+
+// The chaos-differential suite: the PR 5 exactness bar re-proved with
+// faults flowing. The contract under test is the one DESIGN.md's
+// failure model states — the gateway may refuse to answer (typed,
+// retryable), but whenever it answers, the answer is the monolith's,
+// bit for bit; a batch admitted to the journal is applied to every
+// replica exactly once (at-least-once delivery made exact by
+// idempotent replay); and after the faults clear, the cluster
+// converges back to "ok" with no lost or duplicated updates.
+
+// TestChaosDifferentialSweep drives identical update sequences into a
+// live faulted cluster and its monolith twin, sweeping every injected
+// fault class over all three shards. An update that fails at the
+// gateway has still been journaled (admission is the commit point —
+// the replay path guarantees it lands), so the monolith applies it
+// too; on success the change sets must match exactly. After each
+// class the faults clear, recovery is awaited, and the full query
+// surface is compared.
+func TestChaosDifferentialSweep(t *testing.T) {
+	inj := tivfault.New(tivfault.Spec{})
+	// assertAgreement probes fixed node ids up to 31, so ≥32 nodes.
+	cfg := synth.DS2Like(36, 21)
+	cfg.MissingFrac = 0.08
+	sp, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := testcluster.Start(testcluster.Config{
+		Matrix:         sp.Matrix,
+		Shards:         3,
+		Live:           true,
+		Workers:        1,
+		GatewayOptions: chaosGatewayOptions(),
+		ShardMiddleware: func(s int, h http.Handler) http.Handler {
+			return inj.Handler(h)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	mono, err := c.NewMonolith()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	classes := []struct {
+		name string
+		spec tivfault.Spec
+	}{
+		{"latency", tivfault.Spec{Latency: 2 * time.Millisecond, Jitter: 2 * time.Millisecond, Seed: 2}},
+		{"errors", tivfault.Spec{ErrRate: 0.3, Seed: 3}},
+		{"tears", tivfault.Spec{TearRate: 0.3, Seed: 4}},
+		{"hangs", tivfault.Spec{HangRate: 0.15, Seed: 5}},
+		{"mixed", tivfault.Spec{Latency: time.Millisecond, Jitter: time.Millisecond,
+			ErrRate: 0.15, HangRate: 0.05, TearRate: 0.15, Seed: 6}},
+	}
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(77))
+	n := c.Matrix.N()
+	applied, refused := 0, 0
+	for _, fc := range classes {
+		t.Run(fc.name, func(t *testing.T) {
+			inj.SetSpec(fc.spec)
+			for step := 0; step < 25; step++ {
+				i := rng.Intn(n)
+				j := rng.Intn(n)
+				if i == j {
+					j = (j + 1) % n
+				}
+				rtt := 5 + rng.Float64()*400
+				if step%9 == 8 {
+					rtt = -1
+				}
+				gotCS, gerr := c.Gateway.ApplyUpdate(ctx, i, j, rtt)
+				// Valid updates fail only via the retryable unavailable
+				// path, after journal admission: the replay path owes
+				// them to every shard, so the monolith gets them too.
+				wantCS, merr := mono.ApplyUpdate(i, j, rtt)
+				if merr != nil {
+					t.Fatalf("step %d: monolith rejected (%d,%d,%g): %v", step, i, j, rtt, merr)
+				}
+				if gerr != nil {
+					var wc interface{ WireCode() string }
+					if !errors.As(gerr, &wc) || !tivwire.RetryableCode(wc.WireCode()) {
+						t.Fatalf("step %d: gateway failed terminally on a valid update: %v", step, gerr)
+					}
+					refused++
+					continue
+				}
+				applied++
+				// Deltas and Rescan must be bit-exact. Versions are NOT
+				// compared here: a shard's monitor version counts applies
+				// (including the no-op re-apply that resolves an ambiguous
+				// fault during journal replay), so under fault injection it
+				// may legitimately run ahead of the monolith's while every
+				// answer stays identical. The kill/restart test — where no
+				// ambiguity arises — pins versions exactly.
+				if gotCS.Rescan != wantCS.Rescan ||
+					fmt.Sprint(gotCS.NewlyViolated) != fmt.Sprint(tivwire.FromEdges(wantCS.NewlyViolated)) ||
+					fmt.Sprint(gotCS.Cleared) != fmt.Sprint(tivwire.FromEdges(wantCS.Cleared)) {
+					t.Fatalf("step %d: gateway change set %+v, monolith %+v", step, gotCS, wantCS)
+				}
+				// Reads between updates: exact whenever any caught-up
+				// replica is live (only the all-breakers-open desperation
+				// pass may serve a behind replica, so skip then).
+				if step%5 == 4 && len(c.Gateway.DownShards()) < c.Gateway.K() {
+					target := rng.Intn(n)
+					want, err := mono.ClosestNode(ctx, target, tivaware.QueryOptions{SeverityPenalty: 2})
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := c.Gateway.ClosestNode(ctx, target, tivaware.QueryOptions{SeverityPenalty: 2})
+					if err == nil && got != want {
+						t.Fatalf("step %d: ClosestNode(%d) = %+v under faults, monolith %+v", step, target, got, want)
+					}
+				}
+			}
+			// Clear the faults; every refused update must be delivered by
+			// journal replay before the prober reports "ok".
+			inj.SetSpec(tivfault.Spec{})
+			waitStatus(t, c.Gateway, "ok", 20*time.Second)
+			assertAgreement(t, mono, c)
+		})
+	}
+	t.Logf("chaos sweep: %d updates applied directly, %d refused (journal-replayed)", applied, refused)
+	if applied == 0 {
+		t.Fatal("every update was refused; the sweep proved nothing")
+	}
+}
+
+// streamRecorder captures the gateway fan-in per shard, keeping
+// Rescan markers inline so tests can segment streams at resync
+// points.
+type streamRecorder struct {
+	mu      sync.Mutex
+	streams [][]tivshard.ShardChangeSet
+}
+
+func newStreamRecorder(shards int) *streamRecorder {
+	return &streamRecorder{streams: make([][]tivshard.ShardChangeSet, shards)}
+}
+
+func (r *streamRecorder) record(ev tivshard.ShardChangeSet) {
+	r.mu.Lock()
+	r.streams[ev.Shard] = append(r.streams[ev.Shard], ev)
+	r.mu.Unlock()
+}
+
+// snapshot copies shard s's stream.
+func (r *streamRecorder) snapshot(s int) []tivshard.ShardChangeSet {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]tivshard.ShardChangeSet(nil), r.streams[s]...)
+}
+
+// waitQuiet blocks until no stream has grown for the given window.
+func (r *streamRecorder) waitQuiet(window, within time.Duration) error {
+	deadline := time.Now().Add(within)
+	last := r.total()
+	quietSince := time.Now()
+	for {
+		time.Sleep(window / 4)
+		cur := r.total()
+		if cur != last {
+			last, quietSince = cur, time.Now()
+		} else if time.Since(quietSince) >= window {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("streams never went quiet within %v", within)
+		}
+	}
+}
+
+func (r *streamRecorder) total() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, s := range r.streams {
+		n += len(s)
+	}
+	return n
+}
+
+// replaySegment replays one shard's delta events (markers must be
+// pre-stripped) from a baseline violated set and returns the result,
+// failing on any duplicated or lost delta. Events are ordered by
+// shard monitor version, which totally orders one shard's applies.
+func replaySegment(shard int, events []tivshard.ShardChangeSet, baseline map[edgeKey]bool) (map[edgeKey]bool, error) {
+	events = append([]tivshard.ShardChangeSet(nil), events...)
+	sort.SliceStable(events, func(a, b int) bool {
+		return events[a].Changes.Version < events[b].Changes.Version
+	})
+	set := make(map[edgeKey]bool, len(baseline))
+	for e := range baseline {
+		set[e] = true
+	}
+	for idx, ev := range events {
+		if idx > 0 && ev.Changes.Version == events[idx-1].Changes.Version {
+			return nil, fmt.Errorf("shard %d: two events share monitor version %d (duplicated change set)", shard, ev.Changes.Version)
+		}
+		for _, e := range ev.Changes.NewlyViolated {
+			k := key(e.I, e.J)
+			if set[k] {
+				return nil, fmt.Errorf("shard %d event %d: duplicated NewlyViolated delta for edge (%d,%d)", shard, idx, e.I, e.J)
+			}
+			set[k] = true
+		}
+		for _, e := range ev.Changes.Cleared {
+			k := key(e.I, e.J)
+			if !set[k] {
+				return nil, fmt.Errorf("shard %d event %d: Cleared delta for edge (%d,%d) that was not violated (lost or duplicated delta)", shard, idx, e.I, e.J)
+			}
+			delete(set, k)
+		}
+	}
+	return set, nil
+}
+
+// compareSets errors unless the replayed violated set equals the
+// shard's actual owned violated set.
+func compareSets(shard int, got, want map[edgeKey]bool) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("shard %d: replayed violated set has %d edges, shard state has %d", shard, len(got), len(want))
+	}
+	for e := range want {
+		if !got[e] {
+			return fmt.Errorf("shard %d: replayed set is missing violated edge (%d,%d)", shard, e.i, e.j)
+		}
+	}
+	return nil
+}
+
+// splitMarkers partitions a recorded stream into delta events and the
+// indices (into the returned deltas slice) where Rescan markers cut
+// it: segAfterLastMarker is the delta suffix following the final
+// marker, prefix the deltas before the first marker.
+func splitMarkers(events []tivshard.ShardChangeSet) (prefix, suffix []tivshard.ShardChangeSet, markers int) {
+	var deltas []tivshard.ShardChangeSet
+	firstMarker, lastMarker := -1, -1
+	for _, ev := range events {
+		if ev.Changes.Rescan {
+			markers++
+			if firstMarker < 0 {
+				firstMarker = len(deltas)
+			}
+			lastMarker = len(deltas)
+			continue
+		}
+		deltas = append(deltas, ev)
+	}
+	if firstMarker < 0 {
+		return deltas, deltas, 0
+	}
+	return deltas[:firstMarker], deltas[lastMarker:], markers
+}
+
+// TestKillRestartConvergence is the acceptance-bar stress test, run
+// under -race by the suite: a live K=3 cluster serving lockstep
+// updates (gateway and monolith twin get the identical sequence, and
+// every answered change set must match exactly) with concurrent
+// readers, while shard 1 is SIGKILL-equivalently killed mid-traffic,
+// left dead under load, then restarted from its pristine seed. The
+// gateway must keep answering updates and queries exactly throughout
+// (owner failover), detect the restart by version regression, replay
+// the full journal, readmit the shard, and converge: the reborn
+// shard's state equals the monolith's, and the fan-in streams carry
+// no lost or duplicated violated-edge delta — with the killed shard's
+// stream segmented at its Rescan resync markers, exactly as a
+// consuming application must do.
+func TestKillRestartConvergence(t *testing.T) {
+	const (
+		shards = 3
+		n      = 36 // assertAgreement probes fixed node ids up to 31
+		victim = 1
+	)
+	gwOpts := chaosGatewayOptions()
+	gwOpts.Retry.PerTryTimeout = time.Second
+	c, err := testcluster.Start(testcluster.Config{
+		N:              n,
+		Shards:         shards,
+		Seed:           31,
+		Live:           true,
+		Workers:        1,
+		ServerOptions:  tivd.Options{SubscribeBuffer: 16384},
+		GatewayOptions: gwOpts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	mono, err := c.NewMonolith()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	baseline := make([]map[edgeKey]bool, shards)
+	for s := 0; s < shards; s++ {
+		baseline[s] = violatedOwnedSet(t, c.Shards[s].Service, s, shards)
+	}
+	rec := newStreamRecorder(shards)
+	cancel, err := c.Gateway.Subscribe(rec.record)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	// Concurrent readers race the whole scenario; every read must
+	// succeed (modulo shutdown) — the acceptance criterion is that
+	// queries keep answering across the kill.
+	ctx := context.Background()
+	readCtx, stopReads := context.WithCancel(ctx)
+	readErrs := make(chan error, 1)
+	var readWG sync.WaitGroup
+	readWG.Add(1)
+	go func() {
+		defer readWG.Done()
+		for q := 0; readCtx.Err() == nil; q++ {
+			if _, err := c.Gateway.ClosestNode(readCtx, q%n, tivaware.QueryOptions{SeverityPenalty: 2}); err != nil && readCtx.Err() == nil {
+				select {
+				case readErrs <- fmt.Errorf("ClosestNode during chaos: %w", err):
+				default:
+				}
+				return
+			}
+			if _, err := c.Gateway.TopEdges(readCtx, 5); err != nil && readCtx.Err() == nil {
+				select {
+				case readErrs <- fmt.Errorf("TopEdges during chaos: %w", err):
+				default:
+				}
+				return
+			}
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(53))
+	lockstep := func(phase string, steps int) {
+		t.Helper()
+		for step := 0; step < steps; step++ {
+			i := rng.Intn(n)
+			j := rng.Intn(n)
+			if i == j {
+				j = (j + 1) % n
+			}
+			rtt := 1 + rng.Float64()*4
+			if rng.Intn(2) == 0 {
+				rtt = 500 + rng.Float64()*2000
+			}
+			gotCS, err := c.Gateway.ApplyUpdate(ctx, i, j, rtt)
+			if err != nil {
+				t.Fatalf("%s step %d: gateway refused update: %v", phase, step, err)
+			}
+			wantCS, err := mono.ApplyUpdate(i, j, rtt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotCS.Version != wantCS.Version || gotCS.Rescan != wantCS.Rescan ||
+				fmt.Sprint(gotCS.NewlyViolated) != fmt.Sprint(tivwire.FromEdges(wantCS.NewlyViolated)) ||
+				fmt.Sprint(gotCS.Cleared) != fmt.Sprint(tivwire.FromEdges(wantCS.Cleared)) {
+				t.Fatalf("%s step %d: gateway change set %+v, monolith %+v", phase, step, gotCS, wantCS)
+			}
+		}
+	}
+
+	// Phase A: healthy traffic.
+	lockstep("healthy", 25)
+
+	// Kill shard 1 mid-traffic. Updates must keep flowing (owner
+	// failover picks the next live replica as authority) and change
+	// sets must stay exact.
+	c.KillShard(victim)
+	lockstep("degraded", 40)
+	waitStatus(t, c.Gateway, "degraded", 10*time.Second)
+	if down := c.Gateway.DownShards(); len(down) != 1 || down[0] != victim {
+		t.Fatalf("DownShards = %v, want [%d]", down, victim)
+	}
+	// The acceptance criterion: rank/detour/top answered exactly while
+	// the shard is dead.
+	assertAgreement(t, mono, c)
+
+	// Restart from the pristine seed: the prober must detect the
+	// version regression, replay the whole journal, and readmit.
+	if err := c.RestartShard(victim); err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, c.Gateway, "ok", 30*time.Second)
+
+	// Convergence: the reborn shard holds exactly the monolith's state.
+	wantAn, err := mono.Analysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotAn, err := c.Shards[victim].Service.Analysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotAn.ViolatingTriangles != wantAn.ViolatingTriangles || gotAn.Triangles != wantAn.Triangles {
+		t.Fatalf("restarted shard analysis %d/%d, monolith %d/%d",
+			gotAn.ViolatingTriangles, gotAn.Triangles, wantAn.ViolatingTriangles, wantAn.Triangles)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if gotAn.Counts.At(i, j) != wantAn.Counts.At(i, j) {
+				t.Fatalf("restarted shard: edge (%d,%d) witness count %d, monolith %d",
+					i, j, gotAn.Counts.At(i, j), wantAn.Counts.At(i, j))
+			}
+		}
+	}
+
+	// Phase C: post-recovery traffic, with the stream accounting
+	// re-baselined after the resync markers have landed.
+	if err := rec.waitQuiet(300*time.Millisecond, 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	cut := make([]int, shards)
+	baseline2 := make([]map[edgeKey]bool, shards)
+	for s := 0; s < shards; s++ {
+		cut[s] = len(rec.snapshot(s))
+		baseline2[s] = violatedOwnedSet(t, c.Shards[s].Service, s, shards)
+	}
+	lockstep("recovered", 25)
+	assertAgreement(t, mono, c)
+	stopReads()
+	readWG.Wait()
+	select {
+	case err := <-readErrs:
+		t.Fatal(err)
+	default:
+	}
+
+	// Fan-in accounting. The never-killed shards must deliver one
+	// unbroken, marker-free stream replaying exactly from baseline to
+	// final state; the killed shard's stream must carry at least one
+	// Rescan marker (the resync points), a clean pre-kill prefix, and
+	// a post-cut segment replaying exactly from the re-baseline.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		err = accountStreams(t, c, rec, baseline, baseline2, cut, shards, victim)
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// accountStreams runs the full per-shard delta accounting once;
+// callers poll it until the in-flight fan-in quiesces.
+func accountStreams(t *testing.T, c *testcluster.Cluster, rec *streamRecorder, baseline, baseline2 []map[edgeKey]bool, cut []int, shards, victim int) error {
+	t.Helper()
+	for s := 0; s < shards; s++ {
+		events := rec.snapshot(s)
+		final := violatedOwnedSet(t, c.Shards[s].Service, s, shards)
+		prefix, _, markers := splitMarkers(events)
+		if s != victim {
+			if markers != 0 {
+				return fmt.Errorf("shard %d stream tore (%d Rescan markers) though it was never killed", s, markers)
+			}
+			set, err := replaySegment(s, events, baseline[s])
+			if err != nil {
+				return err
+			}
+			if err := compareSets(s, set, final); err != nil {
+				return err
+			}
+			continue
+		}
+		if markers == 0 {
+			return fmt.Errorf("killed shard %d delivered no Rescan marker; subscribers were never told to resync", s)
+		}
+		// Pre-kill prefix: internally consistent from the baseline (no
+		// duplicated or lost delta before the first tear).
+		if _, err := replaySegment(s, prefix, baseline[s]); err != nil {
+			return fmt.Errorf("pre-kill prefix: %w", err)
+		}
+		// Post-recovery segment: every event after the quiesced cut
+		// replays the re-baselined set exactly into the final state.
+		if len(events) < cut[s] {
+			return fmt.Errorf("shard %d stream shrank (%d events, cut %d)", s, len(events), cut[s])
+		}
+		tail := events[cut[s]:]
+		for _, ev := range tail {
+			if ev.Changes.Rescan {
+				return fmt.Errorf("shard %d delivered a Rescan marker after recovery quiesced", s)
+			}
+		}
+		set, err := replaySegment(s, tail, baseline2[s])
+		if err != nil {
+			return fmt.Errorf("post-recovery segment: %w", err)
+		}
+		if err := compareSets(s, set, final); err != nil {
+			return fmt.Errorf("post-recovery segment: %w", err)
+		}
+	}
+	return nil
+}

@@ -68,12 +68,38 @@ import (
 // Options configures a Gateway. The zero value is valid.
 type Options struct {
 	// HTTPClient overrides the transport for all shard clients; nil
-	// means http.DefaultClient. It must not carry a global timeout if
+	// means the tivclient default (bounded connection phases, no
+	// whole-request timeout). It must not carry a global timeout if
 	// Subscribe is used (shard streams are long-lived).
 	HTTPClient *http.Client
 	// ResubscribeDelay is the pause before re-attaching a dropped
 	// shard event stream; zero means 500ms.
 	ResubscribeDelay time.Duration
+	// Retry bounds the per-query retry/failover loop; see RetryPolicy.
+	Retry RetryPolicy
+	// HedgeDelay, when positive, hedges slow reads: if a per-shard
+	// attempt has not answered after this long, a second attempt races
+	// on another live replica and the first success wins. Exactness is
+	// unaffected (replicas answer identically); only tail latency is.
+	// Zero disables hedging.
+	HedgeDelay time.Duration
+	// BreakerThreshold is the number of consecutive failures that trip
+	// a shard's circuit breaker (no reads, updates journal for
+	// replay); zero means 3, negative disables the breaker.
+	BreakerThreshold int
+	// ProbeInterval is the background health-probe cadence — the only
+	// path that readmits a down shard (after journal replay); zero
+	// means 250ms, negative disables probing (down shards then stay
+	// down, and restarts go undetected; tests drive recovery manually).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds each health probe and each replayed batch;
+	// zero means 2s.
+	ProbeTimeout time.Duration
+	// JournalLimit bounds the update journal (batches kept for
+	// replaying to down shards); older entries are evicted, and a down
+	// shard needing an evicted entry becomes stale (see Status). Zero
+	// means 8192.
+	JournalLimit int
 }
 
 func (o Options) resubscribeDelay() time.Duration {
@@ -81,6 +107,40 @@ func (o Options) resubscribeDelay() time.Duration {
 		return o.ResubscribeDelay
 	}
 	return 500 * time.Millisecond
+}
+
+func (o Options) breakerThreshold() int {
+	switch {
+	case o.BreakerThreshold > 0:
+		return o.BreakerThreshold
+	case o.BreakerThreshold < 0:
+		return 0
+	}
+	return 3
+}
+
+func (o Options) probeInterval() time.Duration {
+	switch {
+	case o.ProbeInterval > 0:
+		return o.ProbeInterval
+	case o.ProbeInterval < 0:
+		return 0
+	}
+	return 250 * time.Millisecond
+}
+
+func (o Options) probeTimeout() time.Duration {
+	if o.ProbeTimeout > 0 {
+		return o.ProbeTimeout
+	}
+	return 2 * time.Second
+}
+
+func (o Options) journalLimit() int {
+	if o.JournalLimit > 0 {
+		return o.JournalLimit
+	}
+	return 8192
 }
 
 // Gateway scatter-gathers TIV queries over K shard daemons. It
@@ -105,6 +165,16 @@ type Gateway struct {
 	// ownerMu[s] serializes update batches touching edges owned by
 	// shard s, keeping the replicas' same-edge apply order identical.
 	ownerMu []sync.Mutex
+
+	// Resilience state (see resilience.go): per-shard breaker and
+	// replay cursors, the skipped-update journal, and the background
+	// health prober.
+	states       []shardState
+	journalMu    sync.Mutex
+	journal      []journalEntry
+	journalBase  int64
+	proberCancel context.CancelFunc
+	proberWG     sync.WaitGroup
 
 	// Subscription fan-in state.
 	subMu      sync.Mutex
@@ -144,9 +214,11 @@ type ShardChangeSet struct {
 	// Changes carries the owned-edge deltas. A Rescan change set with
 	// no deltas marks a torn shard stream: one is delivered when the
 	// stream tears (events may be missing from here on) and another
-	// once it re-attached — a resync (TopEdges) triggered by that
-	// second marker is gap-free, because the re-attach handshake
-	// precedes it.
+	// once it re-attached — unless the re-attach handshake proves the
+	// gap empty (hello version unchanged, see pump), in which case the
+	// second marker is skipped. A resync (TopEdges) triggered by a
+	// post-re-attach marker is gap-free, because the re-attach
+	// handshake precedes it.
 	Changes tivwire.ChangeSet
 }
 
@@ -165,6 +237,7 @@ func New(ctx context.Context, shardURLs []string, opts Options) (*Gateway, error
 		k:       len(shardURLs),
 		opts:    opts,
 		ownerMu: make([]sync.Mutex, len(shardURLs)),
+		states:  make([]shardState, len(shardURLs)),
 	}
 	for _, u := range shardURLs {
 		g.clients = append(g.clients, tivclient.New(u, tivclient.Options{HTTPClient: opts.HTTPClient}))
@@ -188,7 +261,11 @@ func New(ctx context.Context, shardURLs []string, opts Options) (*Gateway, error
 			g.live = false
 		}
 	}
+	for s, h := range healths {
+		g.states[s].lastVersion.Store(h.Version)
+	}
 	g.pumpCtx, g.pumpCancel = context.WithCancel(context.Background())
+	g.startProber()
 	return g, nil
 }
 
@@ -205,8 +282,8 @@ func (g *Gateway) Live() bool { return g.live }
 // gateway (the epoch stamp of its responses).
 func (g *Gateway) Generation() uint64 { return g.gen.Load() }
 
-// Close stops the subscription fan-in pumps. It does not touch the
-// shard daemons.
+// Close stops the subscription fan-in pumps and the health prober.
+// It does not touch the shard daemons.
 func (g *Gateway) Close() {
 	g.subMu.Lock()
 	g.closed = true
@@ -215,6 +292,10 @@ func (g *Gateway) Close() {
 	g.subMu.Unlock()
 	cancel()
 	g.pumpWG.Wait()
+	if g.proberCancel != nil {
+		g.proberCancel()
+	}
+	g.proberWG.Wait()
 }
 
 // owner returns the shard owning node id v.
@@ -231,6 +312,8 @@ func (g *Gateway) edgeOwner(i, j int) int {
 
 // scatter runs fn once per shard concurrently and waits for all of
 // them; shard errors are annotated with the shard index and joined.
+// It has no failover — construction-time probes and whole-cluster
+// sweeps use it; query paths scatter by residue class instead.
 func (g *Gateway) scatter(ctx context.Context, fn func(ctx context.Context, shard int, c *tivclient.Client) error) error {
 	errs := make([]error, g.k)
 	var wg sync.WaitGroup
@@ -242,6 +325,25 @@ func (g *Gateway) scatter(ctx context.Context, fn func(ctx context.Context, shar
 				errs[s] = fmt.Errorf("tivshard: shard %d (%s): %w", s, c.BaseURL(), err)
 			}
 		}(s, c)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// scatterClasses runs fn once per residue class concurrently. The
+// class, not the shard, is the unit of work: fn resolves its class
+// against the class's own shard when that shard is live and fails
+// over to another replica otherwise (any replica answers any class
+// exactly — the full-replication invariant).
+func (g *Gateway) scatterClasses(ctx context.Context, fn func(ctx context.Context, class int) error) error {
+	errs := make([]error, g.k)
+	var wg sync.WaitGroup
+	for class := 0; class < g.k; class++ {
+		wg.Add(1)
+		go func(class int) {
+			defer wg.Done()
+			errs[class] = fn(ctx, class)
+		}(class)
 	}
 	wg.Wait()
 	return errors.Join(errs...)
@@ -312,12 +414,16 @@ func (g *Gateway) Rank(ctx context.Context, target int, candidates []int, opts t
 		if err != nil {
 			return nil, err
 		}
-		return g.clients[s].Rank(ctx, target, candidates, opts)
+		return callClass(g, ctx, s, func(ctx context.Context, c *tivclient.Client) ([]tivaware.Selection, error) {
+			return c.Rank(ctx, target, candidates, opts)
+		})
 	}
 	lists := make([][]tivaware.Selection, g.k)
-	err := g.scatter(ctx, func(ctx context.Context, s int, c *tivclient.Client) error {
-		part, err := c.Rank(ctx, target, candidates, g.withClass(opts, s))
-		lists[s] = part
+	err := g.scatterClasses(ctx, func(ctx context.Context, class int) error {
+		part, err := callClass(g, ctx, class, func(ctx context.Context, c *tivclient.Client) ([]tivaware.Selection, error) {
+			return c.Rank(ctx, target, candidates, g.withClass(opts, class))
+		})
+		lists[class] = part
 		return err
 	})
 	if err != nil {
@@ -338,12 +444,16 @@ func (g *Gateway) KClosest(ctx context.Context, target, k int, opts tivaware.Que
 		if err != nil {
 			return nil, err
 		}
-		return g.clients[s].KClosest(ctx, target, k, opts)
+		return callClass(g, ctx, s, func(ctx context.Context, c *tivclient.Client) ([]tivaware.Selection, error) {
+			return c.KClosest(ctx, target, k, opts)
+		})
 	}
 	lists := make([][]tivaware.Selection, g.k)
-	err := g.scatter(ctx, func(ctx context.Context, s int, c *tivclient.Client) error {
-		part, err := c.KClosest(ctx, target, k, g.withClass(opts, s))
-		lists[s] = part
+	err := g.scatterClasses(ctx, func(ctx context.Context, class int) error {
+		part, err := callClass(g, ctx, class, func(ctx context.Context, c *tivclient.Client) ([]tivaware.Selection, error) {
+			return c.KClosest(ctx, target, k, g.withClass(opts, class))
+		})
+		lists[class] = part
 		return err
 	})
 	if err != nil {
@@ -382,12 +492,16 @@ func (g *Gateway) DetourPathMod(ctx context.Context, i, j, mod, rem int) (tivawa
 		if err != nil {
 			return tivaware.Detour{}, err
 		}
-		return g.clients[s].DetourPathMod(ctx, i, j, mod, rem)
+		return callClass(g, ctx, s, func(ctx context.Context, c *tivclient.Client) (tivaware.Detour, error) {
+			return c.DetourPathMod(ctx, i, j, mod, rem)
+		})
 	}
 	parts := make([]tivaware.Detour, g.k)
-	err := g.scatter(ctx, func(ctx context.Context, s int, c *tivclient.Client) error {
-		d, err := c.DetourPathMod(ctx, i, j, g.k, s)
-		parts[s] = d
+	err := g.scatterClasses(ctx, func(ctx context.Context, class int) error {
+		d, err := callClass(g, ctx, class, func(ctx context.Context, c *tivclient.Client) (tivaware.Detour, error) {
+			return c.DetourPathMod(ctx, i, j, g.k, class)
+		})
+		parts[class] = d
 		return err
 	})
 	if err != nil {
@@ -421,12 +535,16 @@ func (g *Gateway) TopEdgesMod(ctx context.Context, k, mod, rem int) ([]delayspac
 		if err != nil {
 			return nil, err
 		}
-		return g.clients[s].TopEdgesMod(ctx, k, mod, rem)
+		return callClass(g, ctx, s, func(ctx context.Context, c *tivclient.Client) ([]delayspace.Edge, error) {
+			return c.TopEdgesMod(ctx, k, mod, rem)
+		})
 	}
 	lists := make([][]delayspace.Edge, g.k)
-	err := g.scatter(ctx, func(ctx context.Context, s int, c *tivclient.Client) error {
-		part, err := c.TopEdgesMod(ctx, k, g.k, s)
-		lists[s] = part
+	err := g.scatterClasses(ctx, func(ctx context.Context, class int) error {
+		part, err := callClass(g, ctx, class, func(ctx context.Context, c *tivclient.Client) ([]delayspace.Edge, error) {
+			return c.TopEdgesMod(ctx, k, g.k, class)
+		})
+		lists[class] = part
 		return err
 	})
 	if err != nil {
@@ -436,35 +554,80 @@ func (g *Gateway) TopEdgesMod(ctx context.Context, k, mod, rem int) ([]delayspac
 }
 
 // Delay returns the delay estimate for (i, j), answered by the edge's
-// owning shard.
+// owning shard when live, any other replica otherwise.
 func (g *Gateway) Delay(ctx context.Context, i, j int) (float64, bool, error) {
-	return g.clients[g.edgeOwner(i, j)].Delay(ctx, i, j)
+	type delayResult struct {
+		d  float64
+		ok bool
+	}
+	r, err := callClass(g, ctx, g.edgeOwner(i, j), func(ctx context.Context, c *tivclient.Client) (delayResult, error) {
+		d, ok, err := c.Delay(ctx, i, j)
+		return delayResult{d, ok}, err
+	})
+	return r.d, r.ok, err
 }
 
-// Analysis returns the aggregate triangle statistics. Every shard is
-// queried and the integer totals must agree exactly — a disagreement
-// means the replicas diverged (e.g. an update reached only part of
-// the cluster) and is returned as an error rather than papered over.
+// Analysis returns the aggregate triangle statistics. Every live
+// shard is queried and the integer totals must agree exactly — a
+// disagreement means the replicas diverged (e.g. an update reached
+// only part of the cluster) and is returned as an error rather than
+// papered over. Down shards are excluded (their replicas are behind
+// by construction, pending journal replay); a shard that fails
+// mid-sweep is skipped the same way, counted against its breaker. At
+// least one shard must answer.
 func (g *Gateway) Analysis(ctx context.Context) (tivwire.AnalysisResponse, error) {
 	parts := make([]tivwire.AnalysisResponse, g.k)
-	err := g.scatter(ctx, func(ctx context.Context, s int, c *tivclient.Client) error {
-		a, err := c.Analysis(ctx)
-		parts[s] = a
-		return err
-	})
-	if err != nil {
-		return tivwire.AnalysisResponse{}, err
+	answered := make([]bool, g.k)
+	terminal := make([]error, g.k)
+	var lastErr error
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, s := range g.upShards(0) {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			a, err := tryOnce(g, ctx, s, func(ctx context.Context, c *tivclient.Client) (tivwire.AnalysisResponse, error) {
+				return c.Analysis(ctx)
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				parts[s], answered[s] = a, true
+			case !tivclient.IsRetryable(err):
+				terminal[s] = fmt.Errorf("tivshard: shard %d (%s): %w", s, g.clients[s].BaseURL(), err)
+			default:
+				lastErr = err
+			}
+		}(s)
 	}
-	out := parts[0]
-	for s := 1; s < g.k; s++ {
-		if parts[s].ViolatingTriangles != out.ViolatingTriangles ||
-			parts[s].Triangles != out.Triangles || parts[s].N != out.N {
-			return tivwire.AnalysisResponse{}, fmt.Errorf(
-				"tivshard: replicas diverged: shard %d reports %d/%d violating triangles over %d nodes, shard 0 %d/%d over %d",
-				s, parts[s].ViolatingTriangles, parts[s].Triangles, parts[s].N,
-				out.ViolatingTriangles, out.Triangles, out.N)
+	wg.Wait()
+	for _, err := range terminal {
+		if err != nil {
+			return tivwire.AnalysisResponse{}, err
 		}
 	}
+	first := -1
+	for s := 0; s < g.k; s++ {
+		if !answered[s] {
+			continue
+		}
+		if first < 0 {
+			first = s
+			continue
+		}
+		if parts[s].ViolatingTriangles != parts[first].ViolatingTriangles ||
+			parts[s].Triangles != parts[first].Triangles || parts[s].N != parts[first].N {
+			return tivwire.AnalysisResponse{}, errDiverged(fmt.Sprintf(
+				"replicas diverged: shard %d reports %d/%d violating triangles over %d nodes, shard %d %d/%d over %d",
+				s, parts[s].ViolatingTriangles, parts[s].Triangles, parts[s].N,
+				first, parts[first].ViolatingTriangles, parts[first].Triangles, parts[first].N), nil)
+		}
+	}
+	if first < 0 {
+		return tivwire.AnalysisResponse{}, errUnavailable("no shard could answer the analysis sweep", lastErr)
+	}
+	out := parts[first]
 	out.Epoch = g.gen.Load()
 	return out, nil
 }
@@ -475,12 +638,30 @@ func (g *Gateway) ApplyUpdate(ctx context.Context, i, j int, rtt float64) (tivwi
 	return g.ApplyBatch(ctx, []tivwire.Update{{I: i, J: j, RTT: rtt}})
 }
 
-// ApplyBatch replicates one update batch to every shard, owner first,
-// holding the owner locks of every touched edge so replicas apply
-// same-edge updates in one global order. The returned change set is
-// the one the owning shard of the first edge computed. A transport
-// failure mid-broadcast leaves the replicas inconsistent (the error
-// says so); Analysis detects divergence after the fact.
+// ApplyBatch replicates one update batch to every live shard, owner
+// first, holding the owner locks of every touched edge so replicas
+// apply same-edge updates in one global order. The returned change
+// set is the one the authority — the first live shard starting at the
+// owning shard of the first edge — computed; every replica computes
+// the identical change set for the same batch at the same point in
+// the apply order, so owner failover does not change the answer.
+//
+// Failure handling (the failover contract; see DESIGN.md):
+//
+//   - Down shards skip the batch. It is journaled first, and the
+//     prober replays it to them in order before readmitting them.
+//   - A live shard whose apply fails ambiguously (transport error,
+//     timeout — it may or may not have applied) is tripped with its
+//     replay cursor at this batch. Replaying an already-applied batch
+//     is idempotent (same (i,j,rtt) twice yields an empty change
+//     set), so the ambiguity resolves itself.
+//   - The apply never retries on the same shard: if the first attempt
+//     landed, a retry would return the empty change set and corrupt
+//     the authority answer. Failover to the next replica — which
+//     provably has not applied — is the retry.
+//   - The call fails only on a terminal validation error or when no
+//     live shard could act as authority (typed retryable
+//     unavailable).
 func (g *Gateway) ApplyBatch(ctx context.Context, updates []tivwire.Update) (tivwire.ChangeSet, error) {
 	if len(updates) == 0 {
 		return tivwire.ChangeSet{}, fmt.Errorf("tivshard: empty update batch")
@@ -518,21 +699,92 @@ func (g *Gateway) ApplyBatch(ctx context.Context, updates []tivwire.Update) (tiv
 		}
 	}()
 
-	cs, err := g.clients[primary].ApplyBatch(ctx, updates)
-	if err != nil {
-		return tivwire.ChangeSet{}, fmt.Errorf("tivshard: shard %d (%s): %w", primary, g.clients[primary].BaseURL(), err)
+	// Journal the batch and snapshot the down set in one critical
+	// section: every shard is either in the snapshot as down (it skips
+	// now and replays this entry later — its replay cursor is ≤ idx by
+	// construction) or as up (it gets the batch directly; if that
+	// fails, ensureReplayFrom pulls its cursor back to idx). Recovery
+	// readmissions serialize on the same lock, so a batch can never
+	// fall between "skipped" and "not replayed".
+	g.journalMu.Lock()
+	idx := g.appendJournalLocked(updates)
+	skip := make([]bool, g.k)
+	for s := range g.states {
+		skip[s] = g.states[s].down.Load()
 	}
-	err = g.scatter(ctx, func(ctx context.Context, s int, c *tivclient.Client) error {
-		if s == primary {
-			return nil
+	g.journalMu.Unlock()
+
+	// Authority pass: first live shard starting at the owner,
+	// sequentially.
+	authority := -1
+	var cs tivwire.ChangeSet
+	var lastErr error
+	for d := 0; d < g.k; d++ {
+		s := (primary + d) % g.k
+		if skip[s] {
+			continue
 		}
-		_, err := c.ApplyBatch(ctx, updates)
-		return err
-	})
-	if err != nil {
-		return tivwire.ChangeSet{}, fmt.Errorf("replicas may have diverged: %w", err)
+		c, err := g.applyTo(ctx, s, updates)
+		if err == nil {
+			authority, cs = s, c
+			break
+		}
+		lastErr = fmt.Errorf("tivshard: shard %d (%s): %w", s, g.clients[s].BaseURL(), err)
+		if ctx.Err() != nil {
+			return tivwire.ChangeSet{}, errUnavailable("update aborted", ctx.Err())
+		}
+		if !tivclient.IsRetryable(err) {
+			// Terminal: the shard rejected the batch outright (so it
+			// did not apply it), and every replica would say the same.
+			return tivwire.ChangeSet{}, lastErr
+		}
+		g.ensureReplayFrom(s, idx)
 	}
+	if authority < 0 {
+		return tivwire.ChangeSet{}, errUnavailable("no live shard could apply the batch", lastErr)
+	}
+
+	// Broadcast pass: the remaining live shards, concurrently. A
+	// failed replica is quarantined (down + replay from this batch) —
+	// the call still succeeds: the authority answered, and the breaker
+	// keeps the straggler out of reads until replay catches it up.
+	var wg sync.WaitGroup
+	for s := 0; s < g.k; s++ {
+		if s == authority || skip[s] {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			if _, err := g.applyTo(ctx, s, updates); err != nil {
+				g.ensureReplayFrom(s, idx)
+			}
+		}(s)
+	}
+	wg.Wait()
 	g.gen.Add(1)
+	return cs, nil
+}
+
+// applyTo applies one batch to one shard under the per-try timeout,
+// resetting the shard's breaker on success. The response's monitor
+// version is deliberately NOT fed into lastVersion: that watermark
+// tracks the healthz-reported source version, a different counter
+// (the monitor version also counts value-identical no-op re-applies,
+// which never touch the source), and mixing the two makes the prober
+// see phantom version regressions.
+func (g *Gateway) applyTo(ctx context.Context, s int, updates []tivwire.Update) (tivwire.ChangeSet, error) {
+	actx := ctx
+	if to := g.opts.Retry.perTryTimeout(); to > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, to)
+		defer cancel()
+	}
+	cs, err := g.clients[s].ApplyBatch(actx, updates)
+	if err != nil {
+		return tivwire.ChangeSet{}, err
+	}
+	g.states[s].fails.Store(0)
 	return cs, nil
 }
 
@@ -639,16 +891,33 @@ func (g *Gateway) startPumps() error {
 }
 
 // pump drives one shard's subscription stream for the life of the
-// gateway, re-attaching (with a tear marker to the subscribers) when
-// the daemon drops it.
+// gateway, re-attaching when the daemon drops it. Subscribers see a
+// Rescan marker at tear time (the stream is unreliable from here) —
+// and, after re-attach, a second marker only when the gap could hide
+// deltas: the re-attach handshake's hello version is compared with
+// the last change-set version this pump delivered, and equality
+// proves the shard applied nothing while the pump was detached (its
+// monitor version advances on every apply), so the gap is provably
+// empty and the marker — and the resync it would trigger — is
+// skipped. Any inequality, a restarted shard (version reset), or a
+// hello-less legacy daemon emits the marker: only once the new
+// handshake has landed, so a resync it triggers is gap-free — every
+// delta applied after the resync is observed on the new stream.
 func (g *Gateway) pump(ctx context.Context, shard int, attach chan<- error) {
 	defer g.pumpWG.Done()
 	var reportOnce sync.Once
 	report := func(err error) { reportOnce.Do(func() { attach <- err }) }
 	first := true
+	// lastVer/haveVer track the shard's stream position across
+	// attaches. Only the pump goroutine touches them: the client
+	// invokes OnHello and the change-set callback synchronously from
+	// its read loop, which runs in this goroutine.
+	var lastVer uint64
+	var haveVer bool
 	for {
 		ready := make(chan struct{})
-		if first {
+		isFirst := first
+		if isFirst {
 			// Report the attach as soon as the handshake lands (the
 			// client closes ready) — or a cancellation, so startPumps
 			// never blocks when Close races the first Subscribe.
@@ -660,23 +929,28 @@ func (g *Gateway) pump(ctx context.Context, shard int, attach chan<- error) {
 					report(ctx.Err())
 				}
 			}()
-		} else {
-			// Re-attach after a tear: the Rescan marker goes out only
-			// once the new handshake lands, so a subscriber that
-			// resyncs on the marker does it against a stream that is
-			// already delivering again — every delta applied after the
-			// resync is observed. A marker at tear time would invite a
-			// resync *before* the re-attach, silently missing the
-			// deltas applied in between.
-			go func() {
-				select {
-				case <-ready:
-					g.deliver(shard, tivwire.ChangeSet{Rescan: true})
-				case <-ctx.Done():
-				}
-			}()
 		}
-		err := g.clients[shard].Subscribe(ctx, ready, func(cs tivwire.ChangeSet) {
+		// markerDecided: this attach has settled whether a re-attach
+		// marker is needed (via hello, or conservatively before the
+		// first forwarded change set when the daemon sent none).
+		markerDecided := isFirst
+		err := g.clients[shard].SubscribeOpts(ctx, tivclient.SubscribeOptions{
+			Ready: ready,
+			OnHello: func(h tivwire.Hello) {
+				if !markerDecided && !(haveVer && h.Version == lastVer) {
+					g.deliver(shard, tivwire.ChangeSet{Rescan: true})
+				}
+				markerDecided = true
+				lastVer, haveVer = h.Version, true
+			},
+		}, func(cs tivwire.ChangeSet) {
+			if !markerDecided {
+				// No hello preceded the data (legacy daemon): assume
+				// the worst about the gap.
+				g.deliver(shard, tivwire.ChangeSet{Rescan: true})
+				markerDecided = true
+			}
+			lastVer, haveVer = cs.Version, true
 			g.deliver(shard, cs)
 		})
 		if ctx.Err() != nil {
@@ -689,17 +963,22 @@ func (g *Gateway) pump(ctx context.Context, shard int, attach chan<- error) {
 			attached = true
 		default:
 		}
-		if first && !attached {
+		if isFirst && !attached {
 			// The stream failed before its handshake: report the
 			// attach error and let startPumps tear everything down.
 			report(fmt.Errorf("tivshard: shard %d (%s): %w", shard, g.clients[shard].BaseURL(), err))
 			return
 		}
 		first = false
-		// Tear-time marker: subscribers learn promptly that the shard
-		// stream is unreliable (the re-attach marker above is the one
-		// whose resync is guaranteed gap-free).
-		g.deliver(shard, tivwire.ChangeSet{Rescan: true})
+		if attached {
+			// Tear-time marker: subscribers learn promptly that the
+			// shard stream is unreliable (the conditional re-attach
+			// marker above is the one whose resync is guaranteed
+			// gap-free). An attach that never completed its handshake
+			// delivered nothing and needs no tear marker — the
+			// previous tear already emitted one.
+			g.deliver(shard, tivwire.ChangeSet{Rescan: true})
+		}
 		select {
 		case <-ctx.Done():
 			return
@@ -739,25 +1018,42 @@ func (g *Gateway) deliver(shard int, cs tivwire.ChangeSet) {
 
 // Healthz aggregates the shard healths: the node count all shards
 // agreed on at construction, liveness as their conjunction, the
-// gateway generation as the epoch, and the highest shard source
-// version.
+// gateway generation as the epoch, and the highest live-shard source
+// version. Down shards are skipped — the gateway still answers while
+// degraded, and Status says so ("degraded", or "stale" when a down
+// shard is beyond journal recovery). It errors only when no shard
+// answers at all.
 func (g *Gateway) Healthz(ctx context.Context) (tivwire.Health, error) {
 	var mu sync.Mutex
-	out := tivwire.Health{Status: "ok", N: g.n, Live: g.live, Epoch: g.gen.Load()}
-	err := g.scatter(ctx, func(ctx context.Context, s int, c *tivclient.Client) error {
-		h, err := c.Healthz(ctx)
-		if err != nil {
-			return err
-		}
-		mu.Lock()
-		if h.Version > out.Version {
-			out.Version = h.Version
-		}
-		mu.Unlock()
-		return nil
-	})
-	if err != nil {
-		return tivwire.Health{}, err
+	answered := 0
+	var lastErr error
+	out := tivwire.Health{Status: g.Status(), N: g.n, Live: g.live, Epoch: g.gen.Load()}
+	var wg sync.WaitGroup
+	for _, s := range g.upShards(0) {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			h, err := tryOnce(g, ctx, s, func(ctx context.Context, c *tivclient.Client) (tivwire.Health, error) {
+				return c.Healthz(ctx)
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				lastErr = fmt.Errorf("tivshard: shard %d (%s): %w", s, g.clients[s].BaseURL(), err)
+				return
+			}
+			answered++
+			if h.Version > out.Version {
+				out.Version = h.Version
+			}
+		}(s)
+	}
+	wg.Wait()
+	if answered == 0 {
+		return tivwire.Health{}, errUnavailable("no shard answered the health sweep", lastErr)
+	}
+	if lastErr != nil && out.Status == "ok" {
+		out.Status = "degraded"
 	}
 	return out, nil
 }

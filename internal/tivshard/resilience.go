@@ -1,0 +1,572 @@
+package tivshard
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tivaware/internal/tivclient"
+	"tivaware/internal/tivwire"
+)
+
+// This file is the gateway's resilience layer. PR 5's partitioning
+// replicates the full delay matrix on every shard and partitions only
+// the per-query *work* (residue classes) and the delta-stream
+// *authority* (owned edges) — which makes exact failover possible:
+// any live replica can answer any residue class bit-for-bit. The
+// layer makes it real:
+//
+//   - Reads run through a try chain (owner first, then the other live
+//     replicas) with bounded, jitter-backed retries, per-try
+//     timeouts, and optional hedging. A query fails only when every
+//     replica is unreachable — and then with a typed retryable error.
+//   - A per-shard circuit breaker (consecutive-failure threshold)
+//     marks a shard down: down shards get no reads (their replica may
+//     be behind) and no direct updates (they skip, see below).
+//   - Updates that a down shard skips are journaled. A background
+//     prober watches /healthz; when a down shard answers again, the
+//     prober replays the journal from the shard's cursor — owner-path
+//     updates first, in the exact global apply order — and only then
+//     readmits the shard. Replays are idempotent (re-applying an
+//     (i,j,rtt) the shard already has yields an empty change set), so
+//     an ambiguous mid-broadcast failure cannot double-apply.
+//   - The prober also detects restarts: a shard whose monitor version
+//     went backwards was reseeded and must replay from journal index
+//     0. If the bounded journal no longer reaches that far back, the
+//     shard is stale — surfaced via Status, never silently readmitted.
+type shardState struct {
+	// down gates reads and direct updates; flipped under journalMu so
+	// the skip/replay decision and the journal contents stay mutually
+	// consistent, read lock-free on the query path.
+	down atomic.Bool
+	// fails counts consecutive failed calls (the breaker input).
+	fails atomic.Int64
+	// lastVersion is the highest source version this shard has
+	// reported through /healthz. A probe reporting a LOWER version
+	// means the shard restarted from its seed. Only healthz responses
+	// feed it: apply responses carry the shard's *monitor* version, a
+	// different counter that also counts value-identical no-op
+	// re-applies (which never advance the source) — mixing the two
+	// would make every post-replay probe look like a regression.
+	lastVersion atomic.Uint64
+
+	// replayFrom is the absolute journal index of the first entry the
+	// shard may have missed; meaningful only while down. Guarded by
+	// journalMu.
+	replayFrom int64
+	// stale: the journal no longer reaches replayFrom (entries were
+	// evicted); the shard cannot be caught up by replay. Guarded by
+	// journalMu.
+	stale bool
+}
+
+// journalEntry is one update batch a down shard skipped (or may
+// have missed).
+type journalEntry struct {
+	updates []tivwire.Update
+}
+
+// gwError is a gateway failure that knows its wire-taxonomy code, so
+// tivd serves it as a structured envelope (serviceError dispatches on
+// WireCode) and retry layers above classify it without string
+// matching.
+type gwError struct {
+	code string
+	msg  string
+	err  error
+}
+
+func (e *gwError) Error() string {
+	if e.err != nil {
+		return fmt.Sprintf("tivshard: %s: %v", e.msg, e.err)
+	}
+	return "tivshard: " + e.msg
+}
+
+func (e *gwError) Unwrap() error    { return e.err }
+func (e *gwError) WireCode() string { return e.code }
+
+func errUnavailable(msg string, err error) *gwError {
+	return &gwError{code: tivwire.CodeUnavailable, msg: msg, err: err}
+}
+
+func errDiverged(msg string, err error) *gwError {
+	return &gwError{code: tivwire.CodeDiverged, msg: msg, err: err}
+}
+
+// RetryPolicy bounds the gateway's per-query retry loop.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per logical call
+	// across all replicas; zero means 3, negative means 1 (no retry).
+	MaxAttempts int
+	// BaseBackoff is the pause before the second attempt, doubling
+	// each further attempt (±25% jitter); zero means 25ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the pause; zero means 1s.
+	MaxBackoff time.Duration
+	// PerTryTimeout bounds each attempt, so a mid-body hang costs one
+	// bounded try instead of wedging the scatter; zero means 15s,
+	// negative disables.
+	PerTryTimeout time.Duration
+}
+
+func (p RetryPolicy) maxAttempts() int {
+	switch {
+	case p.MaxAttempts > 0:
+		return p.MaxAttempts
+	case p.MaxAttempts < 0:
+		return 1
+	}
+	return 3
+}
+
+func (p RetryPolicy) baseBackoff() time.Duration {
+	if p.BaseBackoff > 0 {
+		return p.BaseBackoff
+	}
+	return 25 * time.Millisecond
+}
+
+func (p RetryPolicy) maxBackoff() time.Duration {
+	if p.MaxBackoff > 0 {
+		return p.MaxBackoff
+	}
+	return time.Second
+}
+
+func (p RetryPolicy) perTryTimeout() time.Duration {
+	switch {
+	case p.PerTryTimeout > 0:
+		return p.PerTryTimeout
+	case p.PerTryTimeout < 0:
+		return 0
+	}
+	return 15 * time.Second
+}
+
+// backoffFor returns the jittered pause before attempt n (n ≥ 1 is
+// the first retry).
+func (p RetryPolicy) backoffFor(n int) time.Duration {
+	d := p.baseBackoff()
+	for i := 1; i < n && d < p.maxBackoff(); i++ {
+		d *= 2
+	}
+	if d > p.maxBackoff() {
+		d = p.maxBackoff()
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/2+1)) - d/4
+}
+
+// ---- breaker -------------------------------------------------------
+
+// recordFailure counts a failed call against the shard's breaker and
+// trips it (marks the shard down) at the threshold. Only retryable
+// failures reach here — terminal failures are the request's fault,
+// not the shard's.
+func (g *Gateway) recordFailure(s int) {
+	if g.opts.breakerThreshold() <= 0 {
+		return // breaker disabled
+	}
+	if g.states[s].fails.Add(1) >= int64(g.opts.breakerThreshold()) {
+		g.markDown(s)
+	}
+}
+
+// recordSuccess resets the shard's breaker and raises its healthz
+// version watermark. It never readmits a down shard — only the
+// prober's replay path does that, because a down shard's replica may
+// be missing updates and must not serve reads until caught up.
+// version must come from a /healthz response (see shardState).
+func (g *Gateway) recordSuccess(s int, version uint64) {
+	g.states[s].fails.Store(0)
+	maxVersion(&g.states[s].lastVersion, version)
+}
+
+// maxVersion raises v to at least version.
+func maxVersion(v *atomic.Uint64, version uint64) {
+	for {
+		cur := v.Load()
+		if version <= cur || v.CompareAndSwap(cur, version) {
+			return
+		}
+	}
+}
+
+// markDown trips shard s: no reads, updates skip-and-journal. The
+// replay cursor is set to the journal's current end — every batch
+// journaled from here on is one the shard skipped. Failed direct
+// applies lower the cursor afterwards via ensureReplayFrom (their
+// entry predates the trip).
+func (g *Gateway) markDown(s int) {
+	g.journalMu.Lock()
+	if !g.states[s].down.Load() {
+		g.states[s].replayFrom = g.journalBase + int64(len(g.journal))
+		g.states[s].stale = false
+		g.states[s].down.Store(true)
+	}
+	g.journalMu.Unlock()
+}
+
+// ensureReplayFrom lowers shard s's replay cursor to idx (an absolute
+// journal index the shard may have missed). Called by apply paths
+// whose direct apply to s failed: the batch is journaled at idx, and
+// whether or not the shard actually applied it, replaying from idx is
+// safe (idempotent) and sufficient.
+func (g *Gateway) ensureReplayFrom(s int, idx int64) {
+	g.journalMu.Lock()
+	if !g.states[s].down.Load() {
+		g.states[s].replayFrom = idx
+		g.states[s].stale = false
+		g.states[s].down.Store(true)
+	} else if idx < g.states[s].replayFrom {
+		g.states[s].replayFrom = idx
+	}
+	g.journalMu.Unlock()
+}
+
+// isDown reports whether the breaker currently excludes shard s.
+func (g *Gateway) isDown(s int) bool { return g.states[s].down.Load() }
+
+// upShards returns the live shard indices, preferred first, then the
+// rest in ring order. With no live shard it returns nil.
+func (g *Gateway) upShards(preferred int) []int {
+	out := make([]int, 0, g.k)
+	for d := 0; d < g.k; d++ {
+		s := (preferred + d) % g.k
+		if !g.isDown(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Status summarizes the gateway's health: "ok" with every shard
+// live, "degraded" while any shard is down (queries still answer
+// exactly from the remaining replicas), "stale" when a down shard can
+// no longer be caught up by journal replay (operator action needed:
+// restart it from a fresh replica and the prober will readmit it, or
+// widen Options.JournalLimit).
+func (g *Gateway) Status() string {
+	g.journalMu.Lock()
+	defer g.journalMu.Unlock()
+	status := "ok"
+	for s := range g.states {
+		if !g.states[s].down.Load() {
+			continue
+		}
+		if g.states[s].stale {
+			return "stale"
+		}
+		status = "degraded"
+	}
+	return status
+}
+
+// DownShards returns the indices of shards the breaker currently
+// excludes (diagnostics; the set changes concurrently).
+func (g *Gateway) DownShards() []int {
+	var out []int
+	for s := 0; s < g.k; s++ {
+		if g.isDown(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ---- read path: try chain, retries, hedging ------------------------
+
+// tryOnce runs one attempt against shard s under the per-try timeout.
+func tryOnce[T any](g *Gateway, ctx context.Context, s int, call func(ctx context.Context, c *tivclient.Client) (T, error)) (T, error) {
+	tctx := ctx
+	if to := g.opts.Retry.perTryTimeout(); to > 0 {
+		var cancel context.CancelFunc
+		tctx, cancel = context.WithTimeout(ctx, to)
+		defer cancel()
+	}
+	v, err := call(tctx, g.clients[s])
+	if err == nil {
+		g.states[s].fails.Store(0)
+		return v, nil
+	}
+	if ctx.Err() == nil && tivclient.IsRetryable(err) {
+		g.recordFailure(s)
+	}
+	var zero T
+	return zero, err
+}
+
+// callClass resolves one logical read: it walks the live replicas
+// (preferred shard first — for class queries that is the class's own
+// shard, keeping the healthy path identical to PR 5's routing), with
+// bounded jittered retries and optional hedging. Terminal errors
+// (bad requests) surface immediately: every replica would reject them
+// identically. It fails only when the caller's context dies or every
+// attempt on every live replica failed — then with a typed retryable
+// error so clients above know to come back.
+func callClass[T any](g *Gateway, ctx context.Context, preferred int, call func(ctx context.Context, c *tivclient.Client) (T, error)) (T, error) {
+	var zero T
+	var lastErr error
+	for attempt := 0; attempt < g.opts.Retry.maxAttempts(); attempt++ {
+		if attempt > 0 {
+			t := time.NewTimer(g.opts.Retry.backoffFor(attempt))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return zero, errUnavailable("query aborted", ctx.Err())
+			case <-t.C:
+			}
+		}
+		candidates := g.upShards(preferred)
+		if len(candidates) == 0 {
+			// Desperation pass: with every breaker open there is
+			// nothing to lose by asking anyway (a probe may simply not
+			// have readmitted a recovered shard yet — but a *down*
+			// shard's replica may be behind, so this pass only runs
+			// when the alternative is failing the query).
+			for d := 0; d < g.k; d++ {
+				candidates = append(candidates, (preferred+d)%g.k)
+			}
+		}
+		for _, s := range candidates {
+			v, err := hedgedTry(g, ctx, s, candidates, call)
+			if err == nil {
+				return v, nil
+			}
+			lastErr = err
+			if ctx.Err() != nil {
+				return zero, errUnavailable("query aborted", ctx.Err())
+			}
+			if !tivclient.IsRetryable(err) {
+				return zero, err // terminal: every replica would say the same
+			}
+		}
+	}
+	return zero, errUnavailable(fmt.Sprintf("no shard could answer after %d attempts", g.opts.Retry.maxAttempts()), lastErr)
+}
+
+// hedgedTry runs one attempt on shard s and, when hedging is enabled
+// and the attempt is slow, races a second attempt on the next live
+// replica; the first success wins (both attempts carry the per-try
+// timeout, so the loser's goroutine is bounded).
+func hedgedTry[T any](g *Gateway, ctx context.Context, s int, candidates []int, call func(ctx context.Context, c *tivclient.Client) (T, error)) (T, error) {
+	hedge := g.opts.HedgeDelay
+	var other int
+	hasOther := false
+	if hedge > 0 {
+		for _, c := range candidates {
+			if c != s {
+				other, hasOther = c, true
+				break
+			}
+		}
+	}
+	if hedge <= 0 || !hasOther {
+		return tryOnce(g, ctx, s, call)
+	}
+
+	type result struct {
+		v   T
+		err error
+	}
+	results := make(chan result, 2)
+	launch := func(shard int) {
+		go func() {
+			v, err := tryOnce(g, ctx, shard, call)
+			results <- result{v, err}
+		}()
+	}
+	launch(s)
+	t := time.NewTimer(hedge)
+	defer t.Stop()
+	launched, failed := 1, 0
+	var firstErr error
+	var zero T
+	for {
+		select {
+		case r := <-results:
+			if r.err == nil {
+				return r.v, nil // first success wins
+			}
+			failed++
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if failed >= launched {
+				// Every launched attempt failed.
+				return zero, firstErr
+			}
+			// One of two failed; the other may yet succeed.
+		case <-t.C:
+			// Primary is slow: race a second attempt on the next live
+			// replica.
+			launch(other)
+			launched = 2
+		}
+	}
+}
+
+// ---- prober --------------------------------------------------------
+
+// startProber launches the background health prober; no-op when
+// probing is disabled.
+func (g *Gateway) startProber() {
+	if g.opts.probeInterval() <= 0 {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	g.proberCancel = cancel
+	g.proberWG.Add(1)
+	go func() {
+		defer g.proberWG.Done()
+		t := time.NewTicker(g.opts.probeInterval())
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				g.probeAll(ctx)
+			}
+		}
+	}()
+}
+
+// probeAll probes every shard once, concurrently.
+func (g *Gateway) probeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for s := 0; s < g.k; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			g.probe(ctx, s)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// probe health-checks one shard. For a live shard it feeds the
+// breaker (probe failures trip it even when no query traffic is
+// flowing) and watches for a restart — a monitor version running
+// BACKWARDS means the shard was reseeded and silently lost every
+// update it had, so it is tripped with a full-history replay cursor.
+// For a down shard, a successful probe starts recovery.
+func (g *Gateway) probe(ctx context.Context, s int) {
+	// Sample the version watermark BEFORE the probe goes out. A
+	// shard's monitor version is monotone (absent a restart), so the
+	// health response — read at the shard strictly after this sample
+	// was recorded — can never legitimately come back below it.
+	// Comparing against a post-response load instead would race
+	// concurrent applies (they advance lastVersion while the probe is
+	// in flight) and misread a perfectly live shard as restarted.
+	pre := g.states[s].lastVersion.Load()
+	pctx, cancel := context.WithTimeout(ctx, g.opts.probeTimeout())
+	defer cancel()
+	h, err := g.clients[s].Healthz(pctx)
+	if err != nil {
+		if ctx.Err() == nil && tivclient.IsRetryable(err) {
+			g.recordFailure(s)
+		}
+		return
+	}
+	if !g.isDown(s) {
+		if h.Version < pre {
+			// Restarted under us: everything it ever applied is gone.
+			g.ensureReplayFrom(s, 0)
+			return
+		}
+		g.recordSuccess(s, h.Version)
+		return
+	}
+	// Down shard answered. A version regression means restart-from-
+	// seed: pull the cursor back to the beginning of history before
+	// replaying.
+	if h.Version < pre {
+		g.ensureReplayFrom(s, 0)
+	}
+	g.recover(ctx, s)
+}
+
+// recover replays the journal to a down-but-answering shard and
+// readmits it. The loop copies one entry at a time under journalMu
+// and applies it outside the lock; readmission happens under
+// journalMu in the same critical section that confirms the cursor
+// reached the journal's end, so a concurrent ApplyBatch either saw
+// the shard down (and journaled its batch beyond the cursor — the
+// loop picks it up) or sees it up (and applies directly). No batch
+// can fall between.
+func (g *Gateway) recover(ctx context.Context, s int) {
+	for {
+		g.journalMu.Lock()
+		if !g.states[s].down.Load() {
+			g.journalMu.Unlock()
+			return // someone else readmitted it
+		}
+		cursor := g.states[s].replayFrom
+		if cursor < g.journalBase {
+			// The bounded journal evicted entries the shard needs:
+			// replay cannot catch it up. Flag and leave it down.
+			g.states[s].stale = true
+			g.journalMu.Unlock()
+			return
+		}
+		if cursor >= g.journalBase+int64(len(g.journal)) {
+			// Caught up: readmit.
+			g.states[s].down.Store(false)
+			g.states[s].stale = false
+			g.states[s].fails.Store(0)
+			g.journalMu.Unlock()
+			return
+		}
+		entry := g.journal[cursor-g.journalBase]
+		g.journalMu.Unlock()
+
+		actx, cancel := context.WithTimeout(ctx, g.opts.probeTimeout())
+		// The response changeset is dropped: its Version is the shard's
+		// monitor counter, not the healthz source version lastVersion
+		// tracks (see shardState).
+		_, err := g.clients[s].ApplyBatch(actx, entry.updates)
+		cancel()
+		if err != nil {
+			if !tivclient.IsRetryable(err) {
+				// Terminal rejection is deterministic: every replica
+				// rejected (or would reject) this batch the same way, so
+				// skipping it preserves replica agreement — retrying
+				// would wedge recovery on it forever.
+				g.journalMu.Lock()
+				if g.states[s].replayFrom == cursor {
+					g.states[s].replayFrom = cursor + 1
+				}
+				g.journalMu.Unlock()
+				continue
+			}
+			// Ambiguous: replay resumes from the same cursor on the
+			// next probe tick (re-applying is idempotent even if this
+			// apply landed).
+			return
+		}
+		g.journalMu.Lock()
+		if g.states[s].replayFrom == cursor {
+			g.states[s].replayFrom = cursor + 1
+		}
+		g.journalMu.Unlock()
+	}
+}
+
+// appendJournal records one batch and returns its absolute index,
+// evicting the oldest entries beyond the journal bound (any down
+// shard whose cursor falls off the evicted end becomes stale —
+// detected by recover). Callers hold journalMu.
+func (g *Gateway) appendJournalLocked(updates []tivwire.Update) int64 {
+	idx := g.journalBase + int64(len(g.journal))
+	g.journal = append(g.journal, journalEntry{updates: updates})
+	if limit := g.opts.journalLimit(); limit > 0 && len(g.journal) > limit {
+		evict := len(g.journal) - limit
+		g.journal = append([]journalEntry(nil), g.journal[evict:]...)
+		g.journalBase += int64(evict)
+	}
+	return idx
+}

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"tivaware/internal/delayspace"
@@ -52,6 +54,10 @@ type Config struct {
 	// (GatewayURL), re-exporting the cluster behind the single-daemon
 	// wire protocol.
 	ServeGateway bool
+	// ShardMiddleware, when non-nil, wraps each shard's HTTP handler
+	// (chaos suites install tivfault injectors here). It is re-applied
+	// on RestartShard, receiving the shard id both times.
+	ShardMiddleware func(shard int, h http.Handler) http.Handler
 }
 
 func (c Config) n() int {
@@ -80,11 +86,40 @@ type Shard struct {
 	// URL is the shard's base URL on loopback.
 	URL string
 	// Service is the shard's in-process service (its matrix is the
-	// shard's private replica).
+	// shard's private replica). Replaced by RestartShard.
 	Service *tivaware.Service
 
-	srv *tivd.Server
-	hs  *http.Server
+	id    int
+	mu    sync.Mutex // guards Service/srv swaps against Close
+	srv   *tivd.Server
+	hs    *http.Server
+	proxy *swapHandler
+}
+
+// swapHandler routes requests to a swappable inner handler, so a
+// shard's "process" can die and restart without its listener (and
+// hence its URL, which the gateway holds) ever changing.
+type swapHandler struct {
+	h atomic.Value // handlerBox
+}
+
+// handlerBox gives atomic.Value the single concrete type it requires
+// whatever handler implementation is stored.
+type handlerBox struct{ h http.Handler }
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.h.Load().(handlerBox).h.ServeHTTP(w, r)
+}
+
+func (s *swapHandler) store(h http.Handler) { s.h.Store(handlerBox{h}) }
+
+// deadHandler aborts every connection without writing a response —
+// the closest in-process stand-in for a SIGKILLed shard: clients see
+// the connection reset, not an HTTP error.
+type deadHandler struct{}
+
+func (deadHandler) ServeHTTP(http.ResponseWriter, *http.Request) {
+	panic(http.ErrAbortHandler)
 }
 
 // Cluster is a running multi-shard cluster.
@@ -119,22 +154,19 @@ func Start(cfg Config) (*Cluster, error) {
 	c := &Cluster{Matrix: m, cfg: cfg}
 	urls := make([]string, 0, cfg.shards())
 	for s := 0; s < cfg.shards(); s++ {
-		svc, err := tivaware.NewFromMatrix(m.Clone(), tivaware.Options{Live: cfg.Live, Workers: cfg.Workers})
+		svc, srv, err := c.newShardServer()
 		if err != nil {
 			c.Close()
 			return nil, err
 		}
-		srv, err := tivd.New(svc, cfg.ServerOptions)
+		proxy := &swapHandler{}
+		proxy.store(c.shardHandler(s, srv))
+		url, hs, err := serve(proxy)
 		if err != nil {
 			c.Close()
 			return nil, err
 		}
-		url, hs, err := serve(srv.Handler())
-		if err != nil {
-			c.Close()
-			return nil, err
-		}
-		c.Shards = append(c.Shards, &Shard{URL: url, Service: svc, srv: srv, hs: hs})
+		c.Shards = append(c.Shards, &Shard{URL: url, Service: svc, id: s, srv: srv, hs: hs, proxy: proxy})
 		urls = append(urls, url)
 	}
 	gw, err := tivshard.New(context.Background(), urls, cfg.GatewayOptions)
@@ -158,6 +190,65 @@ func Start(cfg Config) (*Cluster, error) {
 		c.gwS, c.gwHS, c.GatewayURL = gwS, hs, url
 	}
 	return c, nil
+}
+
+// newShardServer builds one shard's service (a fresh replica of the
+// source matrix) and its tivd server.
+func (c *Cluster) newShardServer() (*tivaware.Service, *tivd.Server, error) {
+	svc, err := tivaware.NewFromMatrix(c.Matrix.Clone(), tivaware.Options{Live: c.cfg.Live, Workers: c.cfg.Workers})
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := tivd.New(svc, c.cfg.ServerOptions)
+	if err != nil {
+		return nil, nil, err
+	}
+	return svc, srv, nil
+}
+
+// shardHandler applies the configured middleware to a shard server.
+func (c *Cluster) shardHandler(shard int, srv *tivd.Server) http.Handler {
+	h := http.Handler(srv.Handler())
+	if c.cfg.ShardMiddleware != nil {
+		h = c.cfg.ShardMiddleware(shard, h)
+	}
+	return h
+}
+
+// KillShard simulates a shard process dying hard: every subsequent
+// connection to its URL is reset without a response, and its live SSE
+// streams are torn down. The listener stays bound (the gateway keeps
+// probing the same URL), so RestartShard can bring the shard back.
+// Idempotent; safe while traffic is in flight.
+func (c *Cluster) KillShard(s int) {
+	sh := c.Shards[s]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.proxy.store(deadHandler{})
+	sh.srv.Close() // tear down the dead process's streams
+}
+
+// RestartShard boots a fresh shard process behind the same URL: a new
+// service over a pristine clone of the source matrix (its monitor
+// version restarts from scratch, exactly like a rebooted daemon
+// reloading its seed measurements) served by a new tivd server. The
+// gateway's prober detects the version regression and replays the
+// full update journal before readmitting the shard.
+func (c *Cluster) RestartShard(s int) error {
+	sh := c.Shards[s]
+	svc, srv, err := c.newShardServer()
+	if err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	old := sh.srv
+	sh.Service, sh.srv = svc, srv
+	sh.proxy.store(c.shardHandler(sh.id, srv))
+	if old != srv {
+		old.Close()
+	}
+	return nil
 }
 
 // serve binds an ephemeral loopback listener and serves h on it.
@@ -203,7 +294,9 @@ func (c *Cluster) Close() {
 		shutdown(c.gwHS)
 	}
 	for _, sh := range c.Shards {
+		sh.mu.Lock()
 		sh.srv.Close()
+		sh.mu.Unlock()
 		shutdown(sh.hs)
 	}
 }

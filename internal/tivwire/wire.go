@@ -20,7 +20,7 @@ import (
 // source-version counters, so operators (and the smoke tests) can
 // watch state advance without pulling O(N²) payloads.
 type Health struct {
-	Status  string `json:"status"` // always "ok" when serving
+	Status  string `json:"status"` // "ok", or "degraded" when a sharded backend is running with shards down
 	N       int    `json:"n"`
 	Live    bool   `json:"live"`    // updates and subscriptions accepted
 	Epoch   uint64 `json:"epoch"`   // service epoch sequence number
@@ -189,7 +189,68 @@ func FromChangeSet(cs tiv.ChangeSet) ChangeSet {
 	}
 }
 
-// Error is the body of every non-2xx response.
+// Error is the body of every non-2xx response: a human-readable
+// message plus a machine-readable code from the failure taxonomy
+// below, so clients dispatch on Code (retry, resync, give up) instead
+// of parsing message strings.
 type Error struct {
 	Error string `json:"error"`
+	// Code classifies the failure; one of the Code* constants. Empty
+	// on responses from pre-taxonomy daemons (treat by HTTP status).
+	Code string `json:"code,omitempty"`
+	// RetryAfter, in seconds, is the server's hint for when a
+	// retryable failure is worth retrying; zero means no hint.
+	RetryAfter float64 `json:"retry_after,omitempty"`
+}
+
+// The failure taxonomy. Retryable vs terminal is the load-bearing
+// split: a retryable failure (the backend is temporarily unable to
+// answer) is worth retrying — against the same daemon after
+// RetryAfter, or immediately against a replica — while a terminal
+// failure (the request itself is wrong, or the deployment cannot
+// satisfy it) will fail identically everywhere and must surface.
+const (
+	// CodeBadRequest: malformed or out-of-range request. Terminal.
+	CodeBadRequest = "bad_request"
+	// CodeMethodNotAllowed: wrong HTTP method. Terminal.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeNotLive: the daemon serves a static matrix and cannot accept
+	// updates or subscriptions. Terminal (until redeployed with -live).
+	CodeNotLive = "not_live"
+	// CodeDiverged: a sharded backend's replicas disagree; the answer
+	// would be unreliable. Terminal for this request (operators must
+	// intervene; see the tivshard failure model in DESIGN.md).
+	CodeDiverged = "diverged"
+	// CodeUnavailable: the backend (or enough of its shards) is
+	// temporarily unreachable, shutting down, or out of capacity.
+	// Retryable, after RetryAfter if set.
+	CodeUnavailable = "unavailable"
+	// CodeInternal: an unexpected server-side failure. Retryable (a
+	// replica may not share it).
+	CodeInternal = "internal"
+)
+
+// RetryableCode reports whether a taxonomy code marks a failure worth
+// retrying. Unknown and empty codes return false — callers without a
+// code should fall back to the HTTP status (5xx retryable).
+func RetryableCode(code string) bool {
+	switch code {
+	case CodeUnavailable, CodeInternal:
+		return true
+	}
+	return false
+}
+
+// Hello is the payload of the "hello" server-sent event: the first
+// event on every /v1/subscribe stream, carrying the state counters at
+// attach time. Reconnecting subscribers compare Version against the
+// last change-set version they observed: equality proves the
+// violated-edge picture survived the gap intact, anything else
+// (updates applied while detached, or a daemon restart that reset the
+// counters) means the picture is torn and must be resynced (TopEdges)
+// before the new deltas are applied.
+type Hello struct {
+	N       int    `json:"n"`
+	Version uint64 `json:"version"`
+	Epoch   uint64 `json:"epoch"`
 }
