@@ -71,17 +71,19 @@ func run(args []string, stdout io.Writer, ctx context.Context) error {
 	fs := flag.NewFlagSet("tivd", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		listen  = fs.String("listen", "127.0.0.1:7070", "HTTP listen address (use :0 for an ephemeral port)")
-		in      = fs.String("in", "", "delay matrix file to serve")
-		format  = fs.String("format", "csv", "input format: csv or binary")
-		synthN  = fs.Int("synth", 0, "serve a DS2-like synthetic matrix of this many nodes instead of -in")
-		seed    = fs.Int64("seed", 1, "seed for -synth")
-		live    = fs.Bool("live", false, "maintain the analysis incrementally and accept POST /v1/update + /v1/subscribe")
-		workers = fs.Int("workers", 0, "analysis parallelism (0 = GOMAXPROCS)")
-		sample  = fs.Int("sample", 0, "estimate severities from this many third nodes (0 = exact; incompatible with -live)")
-		maxK    = fs.Int("maxk", 0, "cap on k for /v1/rank and /v1/top (0 = default 4096)")
-		shards  = fs.String("shards", "", "comma-separated shard daemon URLs: serve a scatter-gather gateway over them instead of a local matrix")
-		chaos   = fs.String("chaos", "", "inject faults into every served request, e.g. latency=50ms,jitter=10ms,err=0.05,hang=0.01,tear=0.05,crash=500,seed=7 (crash=N exits the process hard on the Nth request)")
+		listen   = fs.String("listen", "127.0.0.1:7070", "HTTP listen address (use :0 for an ephemeral port)")
+		in       = fs.String("in", "", "delay matrix file to serve")
+		format   = fs.String("format", "csv", "input format: csv or binary")
+		synthN   = fs.Int("synth", 0, "serve a DS2-like synthetic matrix of this many nodes instead of -in")
+		seed     = fs.Int64("seed", 1, "seed for -synth")
+		live     = fs.Bool("live", false, "maintain the analysis incrementally and accept POST /v1/update + /v1/subscribe")
+		workers  = fs.Int("workers", 0, "analysis parallelism (0 = GOMAXPROCS)")
+		sample   = fs.Int("sample", 0, "estimate severities from this many third nodes (0 = exact; incompatible with -live)")
+		maxK     = fs.Int("maxk", 0, "cap on k for /v1/rank and /v1/top (0 = default 4096)")
+		maxBatch = fs.Int("maxbatch", 0, "cap on queries per POST /v1/batch request (0 = default 256)")
+		cacheN   = fs.Int("cache", 0, "epoch-keyed query cache capacity in entries (0 = default 4096, negative disables)")
+		shards   = fs.String("shards", "", "comma-separated shard daemon URLs: serve a scatter-gather gateway over them instead of a local matrix")
+		chaos    = fs.String("chaos", "", "inject faults into every served request, e.g. latency=50ms,jitter=10ms,err=0.05,hang=0.01,tear=0.05,crash=500,seed=7 (crash=N exits the process hard on the Nth request)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,7 +97,7 @@ func run(args []string, stdout io.Writer, ctx context.Context) error {
 			fs.Usage()
 			return fmt.Errorf("-shards is a pure gateway: it takes no -in/-synth/-format/-live/-sample/-workers (liveness and analysis parallelism follow the shards)")
 		}
-		return runGateway(*shards, *listen, *maxK, mw, stdout, ctx)
+		return runGateway(*shards, *listen, tivd.Options{MaxRankK: *maxK, MaxBatch: *maxBatch, CacheEntries: *cacheN}, mw, stdout, ctx)
 	}
 	if (*in == "") == (*synthN == 0) {
 		fs.Usage()
@@ -138,7 +140,7 @@ func run(args []string, stdout io.Writer, ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	srv, err := tivd.New(svc, tivd.Options{MaxRankK: *maxK})
+	srv, err := tivd.New(svc, tivd.Options{MaxRankK: *maxK, MaxBatch: *maxBatch, CacheEntries: *cacheN})
 	if err != nil {
 		return err
 	}
@@ -169,7 +171,7 @@ func chaosMiddleware(spec string, stdout io.Writer) (func(http.Handler) http.Han
 
 // runGateway serves a tivshard gateway over the given shard daemons
 // behind the identical wire surface.
-func runGateway(shards, listen string, maxK int, mw func(http.Handler) http.Handler, stdout io.Writer, ctx context.Context) error {
+func runGateway(shards, listen string, opts tivd.Options, mw func(http.Handler) http.Handler, stdout io.Writer, ctx context.Context) error {
 	var urls []string
 	for _, u := range strings.Split(shards, ",") {
 		if u = strings.TrimSpace(u); u != "" {
@@ -192,7 +194,7 @@ func runGateway(shards, listen string, maxK int, mw func(http.Handler) http.Hand
 	if err != nil {
 		return err
 	}
-	srv, err := tivd.NewBackend(gw.Backend(), tivd.Options{MaxRankK: maxK})
+	srv, err := tivd.NewBackend(gw.Backend(), opts)
 	if err != nil {
 		gw.Close()
 		return err

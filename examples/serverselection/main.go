@@ -6,9 +6,12 @@
 //
 // The final sections run that ranking through the tivaware.Querier
 // seam in three deployment shapes — in-process against the Service,
-// over the wire against a tivd daemon via tivclient, and against a
-// 3-shard loopback cluster via the tivshard gateway — same code,
-// same answers, verified exactly in the sharded case.
+// over the wire against a tivd daemon via tivclient (batched, binary
+// framing), and against a 3-shard loopback cluster via the tivshard
+// gateway — same code, same answers, verified exactly in the sharded
+// case. All clients resolve in one QueryBatch per run: one pinned
+// epoch in-process, one /v1/batch round trip over the wire, one
+// sub-batch per shard through the gateway.
 package main
 
 import (
@@ -136,7 +139,7 @@ func main() {
 		daemon.Close()
 		_ = hs.Shutdown(context.Background())
 	}()
-	client := tivclient.New("http://"+ln.Addr().String(), tivclient.Options{})
+	client := tivclient.New("http://"+ln.Addr().String(), tivclient.Options{Binary: true})
 	h, err := client.Healthz(ctx)
 	if err != nil {
 		log.Fatal(err)
@@ -191,19 +194,34 @@ func main() {
 	}
 }
 
-// servicePenalties evaluates severity-penalized ClosestNode selection
-// against the true delays: the percentage penalty of the selected
-// server vs the optimal one, per client. It queries through the
-// tivaware.Querier seam, so the same evaluation runs against an
-// in-process Service or a remote tivd daemon.
+// servicePenalties evaluates severity-penalized closest-server
+// selection against the true delays: the percentage penalty of the
+// selected server vs the optimal one, per client. All clients are
+// resolved in ONE QueryBatch call against a single consistent state —
+// in-process that is one pinned epoch; over the wire it is one
+// /v1/batch round trip instead of a request per client; through the
+// gateway it is one sub-batch per shard instead of a scatter per
+// client. A per-client failure (no eligible server) lands in its
+// Result.Err and just skips that client, exactly as the old
+// one-call-per-client loop did.
 func servicePenalties(ctx context.Context, q tivaware.Querier, m *delayspace.Matrix, servers, clients []int, penalty float64) ([]float64, error) {
-	out := make([]float64, 0, len(clients))
-	for _, c := range clients {
-		sel, err := q.ClosestNode(ctx, c, tivaware.QueryOptions{
+	queries := make([]tivaware.Query, len(clients))
+	for i, c := range clients {
+		queries[i] = tivaware.Query{
+			Kind:            tivaware.KindClosest,
+			Target:          c,
 			Candidates:      servers,
 			SeverityPenalty: penalty,
-		})
-		if err != nil {
+		}
+	}
+	results, err := q.QueryBatch(ctx, queries)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, len(clients))
+	for i, c := range clients {
+		r := results[i]
+		if r.Err != nil || len(r.Selections) == 0 {
 			continue // no eligible server for this client
 		}
 		optimal := math.Inf(1)
@@ -215,7 +233,7 @@ func servicePenalties(ctx context.Context, q tivaware.Querier, m *delayspace.Mat
 				optimal = d
 			}
 		}
-		actual := m.At(c, sel.Node)
+		actual := m.At(c, r.Selections[0].Node)
 		if math.IsInf(optimal, 1) || optimal <= 0 || actual == delayspace.Missing {
 			continue
 		}

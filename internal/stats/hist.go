@@ -1,0 +1,156 @@
+package stats
+
+import "math"
+
+// LogHist is a log-bucketed latency histogram: values are counted in
+// buckets whose bounds grow geometrically, so quantile estimates carry
+// a bounded relative error (~half the growth factor) at O(1) memory
+// and O(1) inserts regardless of sample count. Load generators keep
+// one per worker and Merge them — an insert touches no shared state,
+// so recording never perturbs the workload being measured.
+//
+// The zero value is NOT usable; construct with NewLogHist. A LogHist
+// is not safe for concurrent use (merge per-worker instances instead).
+type LogHist struct {
+	// growth is the per-bucket ratio (bucket i spans [min·g^i, min·g^(i+1))).
+	growth float64
+	// invLogG caches 1/ln(growth) for bucket index computation.
+	invLogG float64
+	// min is the lower bound of bucket 0; values below it land there.
+	min float64
+
+	counts []uint64
+	n      uint64
+	max    float64
+	sum    float64
+}
+
+// NewLogHist builds a histogram with ~2% relative quantile error
+// (growth 1.04) from floor up to ceil. The bounds are soft: values
+// outside clamp into the edge buckets, they are never dropped.
+func NewLogHist(floor, ceil float64) *LogHist {
+	const growth = 1.04
+	if floor <= 0 {
+		floor = 1e-9
+	}
+	if ceil <= floor {
+		ceil = floor * 2
+	}
+	buckets := int(math.Ceil(math.Log(ceil/floor)/math.Log(growth))) + 1
+	return &LogHist{
+		growth:  growth,
+		invLogG: 1 / math.Log(growth),
+		min:     floor,
+		counts:  make([]uint64, buckets),
+	}
+}
+
+// Observe records one value.
+func (h *LogHist) Observe(v float64) {
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[h.bucket(v)]++
+}
+
+func (h *LogHist) bucket(v float64) int {
+	if v <= h.min {
+		return 0
+	}
+	i := int(math.Log(v/h.min) * h.invLogG)
+	if i < 0 {
+		return 0
+	}
+	if i >= len(h.counts) {
+		return len(h.counts) - 1
+	}
+	return i
+}
+
+// Count returns the number of observations.
+func (h *LogHist) Count() uint64 { return h.n }
+
+// Max returns the largest observed value (0 when empty).
+func (h *LogHist) Max() float64 { return h.max }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *LogHist) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Quantile estimates the p-quantile (p in [0,1]) as the geometric
+// midpoint of the bucket holding the p-th observation; the estimate's
+// relative error is bounded by the bucket growth. The 1-quantile
+// returns the exact observed maximum.
+func (h *LogHist) Quantile(p float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if p >= 1 {
+		return h.max
+	}
+	if p < 0 {
+		p = 0
+	}
+	rank := uint64(p * float64(h.n))
+	if rank >= h.n {
+		rank = h.n - 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			lo := h.min * math.Pow(h.growth, float64(i))
+			return lo * math.Sqrt(h.growth) // geometric bucket midpoint
+		}
+	}
+	return h.max
+}
+
+// Merge folds other into h. The histograms must share a construction
+// (same floor/ceil); Merge panics on mismatched bucket counts.
+func (h *LogHist) Merge(other *LogHist) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	if len(other.counts) != len(h.counts) || other.min != h.min {
+		panic("stats: merging LogHists of different shapes")
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Quantiles evaluates several quantiles in one pass-friendly call.
+func (h *LogHist) Quantiles(ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = h.Quantile(p)
+	}
+	return out
+}
+
+// Snapshot returns the non-empty buckets as (lower bound, count)
+// pairs, ascending — the serialization shape for benchmark artifacts.
+func (h *LogHist) Snapshot() ([]float64, []uint64) {
+	var los []float64
+	var counts []uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		los = append(los, h.min*math.Pow(h.growth, float64(i)))
+		counts = append(counts, c)
+	}
+	return los, counts
+}

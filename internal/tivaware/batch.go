@@ -1,0 +1,368 @@
+package tivaware
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"tivaware/internal/delayspace"
+	"tivaware/internal/tiv"
+)
+
+// The batch query surface: a Query is one typed request from the
+// union of read queries the plane serves, and QueryBatch answers a
+// vector of them against a single consistent state. In-process that
+// state is one pinned epoch; over the wire it is one /v1/batch round
+// trip, which is where the batching pays — a K-shard scatter costs
+// one request per shard per batch instead of one per query.
+
+// QueryKind discriminates the Query union.
+type QueryKind string
+
+const (
+	// KindRank ranks Candidates (nil = all nodes) for Target, best
+	// first, truncated to K best when K > 0.
+	KindRank QueryKind = "rank"
+	// KindClosest returns the single best-ranked candidate for Target.
+	KindClosest QueryKind = "closest"
+	// KindDetour finds the best one-hop detour for the pair (I, J).
+	KindDetour QueryKind = "detour"
+	// KindTop lists the K highest-severity edges.
+	KindTop QueryKind = "top"
+	// KindDelay reads the delay estimate for the pair (I, J).
+	KindDelay QueryKind = "delay"
+	// KindAnalysis summarizes the exact TIV analysis.
+	KindAnalysis QueryKind = "analysis"
+)
+
+// Query is one typed query: Kind selects the operation, the remaining
+// fields parameterize it (unused fields are ignored). The same union
+// drives the single-shot HTTP endpoints and the batch path.
+type Query struct {
+	Kind QueryKind
+
+	// Target is the node ranked for (rank, closest).
+	Target int
+	// K bounds the result (rank: 0 = unbounded; top: edge count).
+	K int
+	// Candidates restricts rank/closest to these nodes; nil means
+	// every node except the target. An empty non-nil slice means an
+	// empty candidate set.
+	Candidates []int
+	// SeverityPenalty and ExcludeViolated tune rank/closest scoring
+	// exactly as in QueryOptions.
+	SeverityPenalty float64
+	ExcludeViolated bool
+	// I, J name the pair for detour and delay queries.
+	I, J int
+	// Scatter restricts rank/closest candidates, detour relays, or top
+	// edges to one residue class (the sharded plane's primitive).
+	Scatter Scatter
+}
+
+// options lifts the query's selection knobs into QueryOptions.
+func (q Query) options() QueryOptions {
+	return QueryOptions{
+		Candidates:      q.Candidates,
+		SeverityPenalty: q.SeverityPenalty,
+		ExcludeViolated: q.ExcludeViolated,
+		Scatter:         q.Scatter,
+	}
+}
+
+// AnalysisSummary is the batch-shaped exact analysis result: the
+// counts that summarize an epoch's TIV structure, without the O(N²)
+// severity matrices a full tiv.Analysis carries.
+type AnalysisSummary struct {
+	// N is the node count.
+	N int
+	// ViolatingTriangles and Triangles count the epoch's violating and
+	// total triangles.
+	ViolatingTriangles int64
+	Triangles          int64
+	// Version is the primary-source version the analysis reflects.
+	Version uint64
+}
+
+// ViolatingTriangleFraction returns ViolatingTriangles/Triangles
+// (0 when no triangles exist).
+func (a AnalysisSummary) ViolatingTriangleFraction() float64 {
+	if a.Triangles == 0 {
+		return 0
+	}
+	return float64(a.ViolatingTriangles) / float64(a.Triangles)
+}
+
+// Result is the answer to one Query. Exactly the fields implied by
+// Kind are set; a per-query failure sets Err and leaves the payload
+// fields zero.
+type Result struct {
+	Kind QueryKind
+	// Err is the query's own failure (bad parameters, no eligible
+	// candidate, unsupported kind); nil on success.
+	Err error
+
+	// Selections answers rank (all ranked) and closest (length 1).
+	Selections []Selection
+	// Truncated reports that a rank result was cut to K (or to a
+	// server-side cap).
+	Truncated bool
+	// Detour answers detour queries.
+	Detour Detour
+	// Edges answers top queries, most severe first.
+	Edges []delayspace.Edge
+	// Delay and DelayOK answer delay queries (DelayOK false = no
+	// estimate for the pair).
+	Delay   float64
+	DelayOK bool
+	// Analysis answers analysis queries.
+	Analysis AnalysisSummary
+}
+
+// ErrUnsupportedQuery marks a query kind the resolving querier cannot
+// answer (wrapped in the per-query Result.Err).
+var ErrUnsupportedQuery = errors.New("tivaware: query kind unsupported by this querier")
+
+// Versions returns the primary- and analysis-source version counters.
+// The pair is the service's logical state token: epochs are keyed on
+// it, so two reads under equal version pairs observe identical state —
+// the invariant version-keyed query caches (internal/tivd) rest on.
+func (s *Service) Versions() (primary, analysis uint64) {
+	return s.src.Version(), s.asrc.Version()
+}
+
+// QueryBatch answers every query against one pinned epoch: the batch
+// is mutually consistent even while updates race, exactly like issuing
+// the calls on a single View.
+func (s *Service) QueryBatch(ctx context.Context, queries []Query) ([]Result, error) {
+	v, err := s.View(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return v.QueryBatch(ctx, queries)
+}
+
+// QueryBatch answers every query against this view's epoch.
+func (v *View) QueryBatch(ctx context.Context, queries []Query) ([]Result, error) {
+	out := make([]Result, len(queries))
+	for i, q := range queries {
+		if err := checkCtx(ctx); err != nil {
+			return nil, err
+		}
+		out[i] = v.resolveQuery(ctx, q)
+	}
+	return out, nil
+}
+
+// resolveQuery answers one query against the view's epoch, reporting
+// query-level failures in Result.Err.
+func (v *View) resolveQuery(ctx context.Context, q Query) Result {
+	res := Result{Kind: q.Kind}
+	switch q.Kind {
+	case KindRank:
+		sel, err := rankEpoch(ctx, v.e, q.Target, q.Candidates, q.options())
+		if err != nil {
+			res.Err = err
+			break
+		}
+		if q.K > 0 && len(sel) > q.K {
+			sel = sel[:q.K]
+			res.Truncated = true
+		}
+		res.Selections = sel
+	case KindClosest:
+		sel, err := closestNodeEpoch(ctx, v.e, q.Target, q.options())
+		if err != nil {
+			res.Err = err
+			break
+		}
+		res.Selections = []Selection{sel}
+	case KindDetour:
+		sc := q.Scatter
+		d, err := detourEpoch(ctx, v.e, q.I, q.J, sc.Mod, sc.Rem)
+		if err != nil {
+			res.Err = err
+			break
+		}
+		res.Detour = d
+	case KindTop:
+		edges, err := v.TopEdgesMod(q.K, q.Scatter.Mod, q.Scatter.Rem)
+		if err != nil {
+			res.Err = err
+			break
+		}
+		res.Edges = edges
+	case KindDelay:
+		if err := v.e.checkNode("node", q.I); err != nil {
+			res.Err = err
+			break
+		}
+		if err := v.e.checkNode("node", q.J); err != nil {
+			res.Err = err
+			break
+		}
+		res.Delay, res.DelayOK = v.Delay(q.I, q.J)
+		if !res.DelayOK {
+			res.Delay = delayspace.Missing // canonical "no estimate", as on the wire
+		}
+	case KindAnalysis:
+		a, err := v.Analysis()
+		if err != nil {
+			res.Err = err
+			break
+		}
+		res.Analysis = AnalysisSummary{
+			N:                  v.N(),
+			ViolatingTriangles: a.ViolatingTriangles,
+			Triangles:          a.Triangles,
+			Version:            v.Version(),
+		}
+	default:
+		res.Err = fmt.Errorf("%w: %q", ErrUnsupportedQuery, q.Kind)
+	}
+	return res
+}
+
+// Optional capabilities ResolveBatch discovers on a SingleQuerier.
+// Two shapes each where in-process (View) and wire (tivclient.Client,
+// tivshard.Gateway) surfaces differ.
+type (
+	detourModder interface {
+		DetourPathMod(ctx context.Context, i, j, mod, rem int) (Detour, error)
+	}
+	topEdger interface {
+		TopEdgesMod(k, mod, rem int) ([]delayspace.Edge, error)
+	}
+	ctxTopEdger interface {
+		TopEdgesMod(ctx context.Context, k, mod, rem int) ([]delayspace.Edge, error)
+	}
+	delayReader interface {
+		Delay(i, j int) (float64, bool)
+	}
+	ctxDelayReader interface {
+		Delay(ctx context.Context, i, j int) (float64, bool, error)
+	}
+	analyzer interface {
+		Analysis() (tiv.Analysis, error)
+	}
+	nodeCounter interface {
+		N() int
+	}
+	versioner interface {
+		Versions() (uint64, uint64)
+	}
+)
+
+// ResolveBatch is the single-call adapter behind Querier: it answers a
+// batch by issuing one SingleQuerier call per query, so any single-call
+// implementation satisfies Querier with a one-line QueryBatch. It
+// resolves rank/closest/detour on the core interface and top, delay,
+// and analysis through optional capability methods, marking queries the
+// querier cannot answer with ErrUnsupportedQuery. Unlike a native batch
+// path it pins nothing: cross-query consistency is whatever the
+// underlying calls provide (exact on a View, epoch-per-call on a
+// Service).
+func ResolveBatch(ctx context.Context, sq SingleQuerier, queries []Query) ([]Result, error) {
+	out := make([]Result, len(queries))
+	for i, q := range queries {
+		if err := checkCtx(ctx); err != nil {
+			return nil, err
+		}
+		out[i] = resolveSingle(ctx, sq, q)
+	}
+	return out, nil
+}
+
+func resolveSingle(ctx context.Context, sq SingleQuerier, q Query) Result {
+	res := Result{Kind: q.Kind}
+	fail := func(err error) Result { res.Err = err; return res }
+	switch q.Kind {
+	case KindRank:
+		sel, err := sq.Rank(ctx, q.Target, q.Candidates, q.options())
+		if err != nil {
+			return fail(err)
+		}
+		if q.K > 0 && len(sel) > q.K {
+			sel = sel[:q.K]
+			res.Truncated = true
+		}
+		res.Selections = sel
+	case KindClosest:
+		sel, err := sq.ClosestNode(ctx, q.Target, q.options())
+		if err != nil {
+			return fail(err)
+		}
+		res.Selections = []Selection{sel}
+	case KindDetour:
+		var (
+			d   Detour
+			err error
+		)
+		if dm, ok := sq.(detourModder); ok {
+			d, err = dm.DetourPathMod(ctx, q.I, q.J, q.Scatter.Mod, q.Scatter.Rem)
+		} else if q.Scatter.Mod == 0 {
+			d, err = sq.DetourPath(ctx, q.I, q.J)
+		} else {
+			err = fmt.Errorf("%w: scattered detour", ErrUnsupportedQuery)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		res.Detour = d
+	case KindTop:
+		var (
+			edges []delayspace.Edge
+			err   error
+		)
+		switch t := sq.(type) {
+		case topEdger:
+			edges, err = t.TopEdgesMod(q.K, q.Scatter.Mod, q.Scatter.Rem)
+		case ctxTopEdger:
+			edges, err = t.TopEdgesMod(ctx, q.K, q.Scatter.Mod, q.Scatter.Rem)
+		default:
+			err = fmt.Errorf("%w: top", ErrUnsupportedQuery)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		res.Edges = edges
+	case KindDelay:
+		switch d := sq.(type) {
+		case delayReader:
+			res.Delay, res.DelayOK = d.Delay(q.I, q.J)
+		case ctxDelayReader:
+			delay, ok, err := d.Delay(ctx, q.I, q.J)
+			if err != nil {
+				return fail(err)
+			}
+			res.Delay, res.DelayOK = delay, ok
+		default:
+			return fail(fmt.Errorf("%w: delay", ErrUnsupportedQuery))
+		}
+		if !res.DelayOK {
+			res.Delay = delayspace.Missing
+		}
+	case KindAnalysis:
+		a, ok := sq.(analyzer)
+		if !ok {
+			return fail(fmt.Errorf("%w: analysis", ErrUnsupportedQuery))
+		}
+		an, err := a.Analysis()
+		if err != nil {
+			return fail(err)
+		}
+		res.Analysis = AnalysisSummary{
+			ViolatingTriangles: an.ViolatingTriangles,
+			Triangles:          an.Triangles,
+		}
+		if nc, ok := sq.(nodeCounter); ok {
+			res.Analysis.N = nc.N()
+		}
+		if ver, ok := sq.(versioner); ok {
+			res.Analysis.Version, _ = ver.Versions()
+		}
+	default:
+		return fail(fmt.Errorf("%w: %q", ErrUnsupportedQuery, q.Kind))
+	}
+	return res
+}

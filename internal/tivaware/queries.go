@@ -9,12 +9,12 @@ import (
 	"tivaware/internal/delayspace"
 )
 
-// Querier is the TIV-aware query surface: what a Service answers
-// in-process, a View answers against one pinned epoch, and a
-// tivclient.Client answers over the wire from a tivd daemon.
-// Consumers written against Querier (the examples, overlay builders)
-// run unchanged against any of the three.
-type Querier interface {
+// SingleQuerier is the one-call-per-query TIV-aware query surface:
+// what a Service answers in-process, a View answers against one
+// pinned epoch, and a tivclient.Client answers over the wire from a
+// tivd daemon. Consumers written against SingleQuerier (the examples,
+// overlay builders) run unchanged against any of the three.
+type SingleQuerier interface {
 	// Rank scores candidates for the target, best first.
 	Rank(ctx context.Context, target int, candidates []int, opts QueryOptions) ([]Selection, error)
 	// KClosest returns the k best-ranked candidates.
@@ -25,10 +25,41 @@ type Querier interface {
 	DetourPath(ctx context.Context, i, j int) (Detour, error)
 }
 
+// Querier is the full query surface: single-shot calls plus QueryBatch,
+// which answers a vector of heterogeneous queries in one round trip
+// against a single consistent state. Implementations that have no
+// native batch path satisfy it with one line via ResolveBatch.
+type Querier interface {
+	SingleQuerier
+	// QueryBatch resolves the queries against one mutually consistent
+	// state (a pinned epoch in-process, one /v1/batch round trip over
+	// the wire). Per-query failures land in Result.Err; the call-level
+	// error is reserved for whole-batch failures (cancellation,
+	// transport loss).
+	QueryBatch(ctx context.Context, queries []Query) ([]Result, error)
+}
+
 var (
 	_ Querier = (*Service)(nil)
 	_ Querier = (*View)(nil)
 )
+
+// Scatter names a residue class of node ids: ids c with
+// c % Mod == Rem. It is the scatter primitive of the sharded query
+// plane (internal/tivshard): a gateway that owns nodes round-robin
+// sends every shard the same query with that shard's class, and the
+// per-shard answers partition the unrestricted one. The zero value
+// (Mod 0) applies no restriction; Mod ≥ 1 requires 0 ≤ Rem < Mod.
+type Scatter struct {
+	Mod int `json:"mod,omitempty"`
+	Rem int `json:"rem,omitempty"`
+}
+
+// check validates the residue class.
+func (sc Scatter) check() error { return checkResidue(sc.Mod, sc.Rem) }
+
+// admits reports whether id belongs to the class; Mod ≤ 1 admits all.
+func (sc Scatter) admits(id int) bool { return inClass(id, sc.Mod, sc.Rem) }
 
 // QueryOptions tunes one selection query. The zero value ranks purely
 // by source delay, the TIV-oblivious baseline.
@@ -47,15 +78,25 @@ type QueryOptions struct {
 	// currently violates the triangle inequality (Selection.Violated),
 	// the hard-filter variant of the penalty.
 	ExcludeViolated bool
-	// Mod and Rem restrict the candidate set to node ids c with
-	// c % Mod == Rem, after validation of any explicit candidate list.
-	// Mod 0 (the zero value) applies no restriction; Mod ≥ 1 requires
-	// 0 ≤ Rem < Mod. This is the scatter primitive of the sharded query
-	// plane (internal/tivshard): a gateway that owns nodes round-robin
-	// sends every shard the same query with that shard's residue class,
-	// and the per-shard rankings partition the unrestricted one.
+	// Scatter restricts the candidate set to one residue class of node
+	// ids, after validation of any explicit candidate list.
+	Scatter Scatter
+	// Mod and Rem are the deprecated spelling of Scatter, still honored
+	// when Scatter is zero so pre-typed callers (and the wire's old
+	// mod=/rem= params) keep working.
+	//
+	// Deprecated: set Scatter instead.
 	Mod int
 	Rem int
+}
+
+// Residue returns the effective residue-class restriction: the typed
+// Scatter field when set, else the deprecated Mod/Rem pair.
+func (o QueryOptions) Residue() Scatter {
+	if o.Scatter.Mod != 0 {
+		return o.Scatter
+	}
+	return Scatter{Mod: o.Mod, Rem: o.Rem}
 }
 
 // checkResidue validates a Mod/Rem residue-class restriction.
@@ -122,7 +163,8 @@ func rankEpoch(ctx context.Context, e *epoch, target int, candidates []int, opts
 	if err := e.checkNode("target", target); err != nil {
 		return nil, err
 	}
-	if err := checkResidue(opts.Mod, opts.Rem); err != nil {
+	sc := opts.Residue()
+	if err := sc.check(); err != nil {
 		return nil, err
 	}
 	if candidates == nil {
@@ -156,7 +198,7 @@ func rankEpoch(ctx context.Context, e *epoch, target int, candidates []int, opts
 				return nil, err
 			}
 		}
-		if c == target || !inClass(c, opts.Mod, opts.Rem) {
+		if c == target || !sc.admits(c) {
 			continue
 		}
 		d, ok := e.q.Delay(target, c)

@@ -28,6 +28,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"tivaware/internal/delayspace"
@@ -72,6 +73,11 @@ type Options struct {
 	// disables. Once attached, the stream is bounded only by its
 	// context.
 	HandshakeTimeout time.Duration
+	// Binary selects the compact binary wire framing
+	// (tivwire.BinaryContentType) for request and response bodies,
+	// negotiated per request via Accept/Content-Type. JSON is the
+	// default. SSE subscription streams stay JSON either way.
+	Binary bool
 }
 
 // defaultTransport backs every client built without an explicit
@@ -99,6 +105,7 @@ type Client struct {
 	hc        *http.Client
 	reqTO     time.Duration
 	handshake time.Duration
+	binary    bool
 }
 
 var _ tivaware.Querier = (*Client)(nil)
@@ -118,7 +125,8 @@ func New(baseURL string, opts Options) *Client {
 	if handshake == 0 {
 		handshake = 10 * time.Second
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc, reqTO: reqTO, handshake: handshake}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc, reqTO: reqTO,
+		handshake: handshake, binary: opts.Binary}
 }
 
 // callCtx applies the RequestTimeout backstop: calls arriving without
@@ -148,8 +156,36 @@ func (c *Client) get(ctx context.Context, path string, params url.Values, out an
 	return c.do(req, out)
 }
 
+// scratchPool recycles the per-request encode and read buffers so the
+// steady-state hot path — encode body, send, read response — performs
+// no buffer allocation. Buffers keep their grown capacity across
+// uses; decoded values never alias them (both codecs copy what they
+// keep), so returning a buffer to the pool is always safe.
+var scratchPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4096); return &b },
+}
+
+// encodeBody renders a request body into the scratch buffer in the
+// client's codec, returning the bytes and the content type. The
+// returned slice aliases scratch; callers recycle it after the
+// request is sent.
+func (c *Client) encodeBody(scratch []byte, body any) ([]byte, string, error) {
+	if c.binary {
+		raw, err := tivwire.AppendBinary(scratch[:0], body)
+		return raw, tivwire.BinaryContentType, err
+	}
+	buf := bytes.NewBuffer(scratch[:0])
+	if err := json.NewEncoder(buf).Encode(body); err != nil {
+		return scratch, "", err
+	}
+	return buf.Bytes(), "application/json", nil
+}
+
 func (c *Client) post(ctx context.Context, path string, body, out any) error {
-	raw, err := json.Marshal(body)
+	bp := scratchPool.Get().(*[]byte)
+	defer func() { scratchPool.Put(bp) }()
+	raw, contentType, err := c.encodeBody(*bp, body)
+	*bp = raw[:0]
 	if err != nil {
 		return fmt.Errorf("tivclient: encoding request: %w", err)
 	}
@@ -159,29 +195,48 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	if err != nil {
 		return fmt.Errorf("tivclient: %w", err)
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
 	return c.do(req, out)
+}
+
+// decodeBody decodes one response body in the codec its Content-Type
+// declares. The decoded value shares no memory with body.
+func decodeBody(binary bool, body []byte, out any) error {
+	if binary {
+		return tivwire.UnmarshalBinaryInto(body, out)
+	}
+	return json.Unmarshal(body, out)
 }
 
 // do executes one request and decodes its result, classifying every
 // failure into a typed *Error (transport, server envelope, or torn
 // payload) so retry layers can tell retryable from terminal.
 func (c *Client) do(req *http.Request, out any) error {
+	if c.binary {
+		req.Header.Set("Accept", tivwire.BinaryContentType)
+	}
 	op := req.Method + " " + req.URL.Path
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return &Error{Op: op, Code: CodeTransport, Message: err.Error(), cause: err}
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	bp := scratchPool.Get().(*[]byte)
+	defer func() { scratchPool.Put(bp) }()
+	buf := bytes.NewBuffer(*bp)
+	buf.Reset()
+	_, err = buf.ReadFrom(io.LimitReader(resp.Body, 64<<20))
+	body := buf.Bytes()
+	*bp = body[:0]
 	if err != nil {
 		return &Error{Op: op, Code: CodeTransport, Status: resp.StatusCode,
 			Message: "reading response: " + err.Error(), cause: err}
 	}
+	gotBinary := strings.HasPrefix(resp.Header.Get("Content-Type"), tivwire.BinaryContentType)
 	if resp.StatusCode != http.StatusOK {
 		e := &Error{Op: op, Status: resp.StatusCode, Message: fmt.Sprintf("HTTP %d", resp.StatusCode)}
 		var we tivwire.Error
-		if json.Unmarshal(body, &we) == nil && we.Error != "" {
+		if decodeBody(gotBinary, body, &we) == nil && we.Error != "" {
 			e.Message, e.Code, e.RetryAfter = we.Error, we.Code, retryAfter(we.RetryAfter)
 		}
 		return e
@@ -189,7 +244,7 @@ func (c *Client) do(req *http.Request, out any) error {
 	if out == nil {
 		return nil
 	}
-	if err := json.Unmarshal(body, out); err != nil {
+	if err := decodeBody(gotBinary, body, out); err != nil {
 		return &Error{Op: op, Code: CodeBadPayload, Status: resp.StatusCode,
 			Message: "decoding response: " + err.Error(), cause: err}
 	}
@@ -216,9 +271,9 @@ func selectionParams(candidates []int, opts tivaware.QueryOptions) url.Values {
 	if opts.ExcludeViolated {
 		params.Set("exclude", "true")
 	}
-	if opts.Mod != 0 {
-		params.Set("mod", strconv.Itoa(opts.Mod))
-		params.Set("rem", strconv.Itoa(opts.Rem))
+	if sc := opts.Residue(); sc.Mod != 0 {
+		params.Set("mod", strconv.Itoa(sc.Mod))
+		params.Set("rem", strconv.Itoa(sc.Rem))
 	}
 	if candidates == nil {
 		candidates = opts.Candidates
@@ -366,6 +421,40 @@ func (c *Client) Delay(ctx context.Context, i, j int) (float64, bool, error) {
 		return 0, false, err
 	}
 	return resp.Delay, resp.OK, nil
+}
+
+// QueryBatch answers a vector of heterogeneous typed queries in one
+// POST /v1/batch round trip, all against one pinned daemon epoch.
+// Results align with queries by index; a per-query failure lands in
+// Result.Err as a typed *Error (dispatch on Code/Retryable exactly as
+// for single-shot calls), while the call-level error means the batch
+// itself failed. Combined with Options.Binary this is the highest-
+// throughput query path the daemon offers.
+func (c *Client) QueryBatch(ctx context.Context, queries []tivaware.Query) ([]tivaware.Result, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	op := "POST /v1/batch"
+	var resp tivwire.BatchResponse
+	if err := c.post(ctx, "/v1/batch", tivwire.BatchRequest{Queries: tivwire.FromQueries(queries)}, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(queries) {
+		return nil, &Error{Op: op, Code: CodeBadPayload, Status: http.StatusOK,
+			Message: fmt.Sprintf("daemon answered %d results for %d queries", len(resp.Results), len(queries))}
+	}
+	out := make([]tivaware.Result, len(queries))
+	for i, r := range resp.Results {
+		res, err := r.ToResult(func(we tivwire.Error) error {
+			return &Error{Op: op, Code: we.Code, Message: we.Error, RetryAfter: retryAfter(we.RetryAfter)}
+		})
+		if err != nil {
+			return nil, &Error{Op: op, Code: CodeBadPayload, Status: http.StatusOK,
+				Message: err.Error(), cause: err}
+		}
+		out[i] = res
+	}
+	return out, nil
 }
 
 // Analysis returns the daemon's aggregate triangle statistics.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package tivclient
+
+const raceEnabled = false

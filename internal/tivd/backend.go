@@ -42,6 +42,16 @@ type Backend interface {
 	TopEdges(ctx context.Context, k, mod, rem int) ([]delayspace.Edge, uint64, error)
 	// Delay returns the delay estimate for (i, j).
 	Delay(ctx context.Context, i, j int) (float64, bool, error)
+	// QueryBatch answers a vector of typed queries against one pinned
+	// epoch (returned alongside); per-query failures land in
+	// Result.Err, the call-level error is whole-batch.
+	QueryBatch(ctx context.Context, queries []tivaware.Query) ([]tivaware.Result, uint64, error)
+	// CacheVersion returns the backend's logical state token, cheap
+	// enough for every request. Equal token pairs guarantee identical
+	// query answers — the coherence contract of the server's
+	// epoch-keyed cache. For a service it is the source version pair;
+	// for a gateway the generation counter (see tivshard.Backend).
+	CacheVersion() (uint64, uint64)
 	// Analysis returns the aggregate triangle statistics (only the
 	// integer totals need to be populated) plus epoch and version.
 	Analysis(ctx context.Context) (tiv.Analysis, uint64, uint64, error)
@@ -124,6 +134,17 @@ func (b serviceBackend) Analysis(ctx context.Context) (tiv.Analysis, uint64, uin
 	an, err := v.Analysis()
 	return an, v.Seq(), v.Version(), err
 }
+
+func (b serviceBackend) QueryBatch(ctx context.Context, queries []tivaware.Query) ([]tivaware.Result, uint64, error) {
+	v, err := b.svc.View(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := v.QueryBatch(ctx, queries)
+	return res, v.Seq(), err
+}
+
+func (b serviceBackend) CacheVersion() (uint64, uint64) { return b.svc.Versions() }
 
 func (b serviceBackend) ApplyBatch(_ context.Context, updates []tiv.Update) (tiv.ChangeSet, error) {
 	return b.svc.ApplyBatch(updates)

@@ -16,13 +16,23 @@
 //	GET  /v1/delay       ?i=&j=
 //	GET  /v1/analysis    aggregate triangle statistics
 //	POST /v1/update      apply edge measurements (live services only)
+//	POST /v1/batch       answer a vector of typed queries in one round trip
 //	GET  /v1/subscribe   SSE stream of violated-edge change sets
 //
 // The optional mod/rem pair restricts a query to one residue class of
 // node ids — the scatter primitive a tivshard gateway uses to fan one
-// query out over its shards (see tivaware.QueryOptions.Mod). The
+// query out over its shards (see tivaware.QueryOptions.Scatter). The
 // server itself serves any Backend: an in-process tivaware.Service or
 // a tivshard.Gateway, so gateways re-export this exact protocol.
+//
+// Every endpoint speaks two codecs: JSON (the default) and the
+// compact binary framing (tivwire.BinaryContentType), negotiated per
+// request — Accept selects the response codec, Content-Type the
+// request-body codec. SSE streams stay JSON (they are line-oriented
+// by design). /v1/batch answers all its queries against one pinned
+// epoch, and read queries flow through an epoch-keyed hot-query cache
+// with request coalescing (see cache.go); both are transparent at the
+// protocol level.
 //
 // Queries run lock-free against the service's current epoch, so the
 // daemon serves concurrent requests at full GOMAXPROCS without a
@@ -56,6 +66,13 @@ type Options struct {
 	// (dropping events silently would hand the client a torn picture
 	// of the violated-edge set). Zero means 256.
 	SubscribeBuffer int
+	// MaxBatch caps the query count of one POST /v1/batch request;
+	// zero means 256.
+	MaxBatch int
+	// CacheEntries bounds the epoch-keyed query cache (entries, not
+	// bytes; see cache.go). Zero means 4096; negative disables the
+	// cache entirely.
+	CacheEntries int
 }
 
 func (o Options) maxRankK() int {
@@ -72,13 +89,31 @@ func (o Options) subscribeBuffer() int {
 	return 256
 }
 
+func (o Options) maxBatch() int {
+	if o.MaxBatch > 0 {
+		return o.MaxBatch
+	}
+	return 256
+}
+
+func (o Options) cacheEntries() int {
+	if o.CacheEntries > 0 {
+		return o.CacheEntries
+	}
+	if o.CacheEntries < 0 {
+		return 0
+	}
+	return 4096
+}
+
 // Server serves one Backend — an in-process tivaware.Service or a
 // tivshard.Gateway — over HTTP. Construct with New or NewBackend,
 // mount via Handler.
 type Server struct {
-	b    Backend
-	opts Options
-	mux  *http.ServeMux
+	b     Backend
+	opts  Options
+	mux   *http.ServeMux
+	cache *queryCache // nil when disabled
 
 	// Subscriber bookkeeping so Close can end SSE streams.
 	subMu     sync.Mutex
@@ -102,7 +137,11 @@ func NewBackend(b Backend, opts Options) (*Server, error) {
 		return nil, fmt.Errorf("tivd: nil backend")
 	}
 	s := &Server{b: b, opts: opts, mux: http.NewServeMux(), subCancel: make(map[int]context.CancelFunc)}
+	if n := opts.cacheEntries(); n > 0 {
+		s.cache = newQueryCache(n)
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
 	s.mux.HandleFunc("/v1/rank", s.handleRank)
 	s.mux.HandleFunc("/v1/closest", s.handleClosest)
 	s.mux.HandleFunc("/v1/detour", s.handleDetour)
@@ -139,15 +178,47 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// acceptsBinary reports whether the request negotiated the compact
+// binary response framing via Accept.
+func acceptsBinary(r *http.Request) bool {
+	return r != nil && strings.Contains(r.Header.Get("Accept"), tivwire.BinaryContentType)
+}
+
+// sendsBinary reports whether the request body is binary-framed.
+func sendsBinary(r *http.Request) bool {
+	return strings.HasPrefix(r.Header.Get("Content-Type"), tivwire.BinaryContentType)
+}
+
+// writeMsg writes one wire message in the codec the request
+// negotiated: binary when Accept names it, JSON otherwise. Error
+// envelopes flow through here too, so a binary client never has to
+// parse JSON mid-stream.
+func writeMsg(w http.ResponseWriter, r *http.Request, status int, v any) {
+	if acceptsBinary(r) {
+		if b, err := tivwire.MarshalBinary(v); err == nil {
+			w.Header().Set("Content-Type", tivwire.BinaryContentType)
+			w.WriteHeader(status)
+			_, _ = w.Write(b)
+			return
+		}
+	}
+	writeJSON(w, status, v)
+}
+
 // writeError writes the structured error envelope: a human-readable
 // message plus the machine-readable taxonomy code (tivwire.Code*).
 // Retryable codes carry the default retry-after hint.
-func writeError(w http.ResponseWriter, status int, code string, format string, args ...any) {
-	e := tivwire.Error{Error: fmt.Sprintf(format, args...), Code: code}
+func writeError(w http.ResponseWriter, r *http.Request, status int, code string, format string, args ...any) {
+	writeMsg(w, r, status, envelope(code, fmt.Errorf(format, args...)))
+}
+
+// envelope builds the wire error envelope for one taxonomy code.
+func envelope(code string, err error) tivwire.Error {
+	e := tivwire.Error{Error: err.Error(), Code: code}
 	if tivwire.RetryableCode(code) {
 		e.RetryAfter = defaultRetryAfter
 	}
-	writeJSON(w, status, e)
+	return e
 }
 
 // defaultRetryAfter is the retry hint (seconds) attached to every
@@ -156,38 +227,62 @@ func writeError(w http.ResponseWriter, status int, code string, format string, a
 // promptly.
 const defaultRetryAfter = 0.5
 
-// serviceError maps a backend error onto an HTTP status and taxonomy
-// code. Errors that carry their own code (via WireCode — gateway
+// errorEnvelope maps a backend error onto an HTTP status and taxonomy
+// envelope. Errors that carry their own code (via WireCode — gateway
 // backends classify shard failures) win; context expiry means the
 // backend could not answer in time (unavailable, retryable);
 // everything else the query path produces is a validation failure —
 // the client's fault. Gateway backends wrap shard errors, so the
 // context check must unwrap.
-func serviceError(w http.ResponseWriter, err error) {
+func errorEnvelope(err error) (int, tivwire.Error) {
 	var wc interface{ WireCode() string }
 	if errors.As(err, &wc) {
 		code := wc.WireCode()
-		status := http.StatusBadRequest
-		switch code {
-		case tivwire.CodeUnavailable, tivwire.CodeInternal:
-			status = http.StatusServiceUnavailable
-		case tivwire.CodeDiverged, tivwire.CodeNotLive:
-			status = http.StatusConflict
-		}
-		writeError(w, status, code, "%v", err)
-		return
+		return statusForCode(code), envelope(code, err)
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		writeError(w, http.StatusServiceUnavailable, tivwire.CodeUnavailable, "%v", err)
-		return
+		return http.StatusServiceUnavailable, envelope(tivwire.CodeUnavailable, err)
 	}
-	writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
+	return http.StatusBadRequest, envelope(tivwire.CodeBadRequest, err)
+}
+
+// resultEnvelope is errorEnvelope specialized per query kind: an
+// analysis failure without its own code means the backend's replicas
+// disagree (or the deployment cannot produce exact counts) — the
+// wire's diverged conflict, not a bad request.
+func resultEnvelope(kind tivaware.QueryKind, err error) (int, tivwire.Error) {
+	if kind == tivaware.KindAnalysis {
+		var wc interface{ WireCode() string }
+		if !errors.As(err, &wc) && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return http.StatusConflict, envelope(tivwire.CodeDiverged, err)
+		}
+	}
+	return errorEnvelope(err)
+}
+
+// statusForCode maps a taxonomy code to its HTTP status.
+func statusForCode(code string) int {
+	switch code {
+	case tivwire.CodeUnavailable, tivwire.CodeInternal:
+		return http.StatusServiceUnavailable
+	case tivwire.CodeDiverged, tivwire.CodeNotLive:
+		return http.StatusConflict
+	case tivwire.CodeMethodNotAllowed:
+		return http.StatusMethodNotAllowed
+	}
+	return http.StatusBadRequest
+}
+
+// serviceError writes a backend error through the taxonomy mapping.
+func serviceError(w http.ResponseWriter, r *http.Request, err error) {
+	status, e := errorEnvelope(err)
+	writeMsg(w, r, status, e)
 }
 
 func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
 	if r.Method != method {
 		w.Header().Set("Allow", method)
-		writeError(w, http.StatusMethodNotAllowed, tivwire.CodeMethodNotAllowed, "method %s not allowed", r.Method)
+		writeError(w, r, http.StatusMethodNotAllowed, tivwire.CodeMethodNotAllowed, "method %s not allowed", r.Method)
 		return false
 	}
 	return true
@@ -227,7 +322,7 @@ func queryOptions(r *http.Request) (tivaware.QueryOptions, error) {
 		return opts, err
 	}
 	opts.SeverityPenalty = penalty
-	if opts.Mod, opts.Rem, err = residueParams(r); err != nil {
+	if opts.Scatter.Mod, opts.Scatter.Rem, err = residueParams(r); err != nil {
 		return opts, err
 	}
 	switch raw := r.URL.Query().Get("exclude"); raw {
@@ -267,7 +362,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	epoch, version, err := s.b.Health(r.Context())
 	if err != nil {
-		serviceError(w, err)
+		serviceError(w, r, err)
 		return
 	}
 	// Backends that track partial failure (the tivshard gateway)
@@ -277,13 +372,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if st, ok := s.b.(interface{ Status() string }); ok {
 		status = st.Status()
 	}
-	writeJSON(w, http.StatusOK, tivwire.Health{
+	h := tivwire.Health{
 		Status:  status,
 		N:       s.b.N(),
 		Live:    s.b.Live(),
 		Epoch:   epoch,
 		Version: version,
-	})
+	}
+	if s.cache != nil {
+		h.Cache = s.cache.stats()
+	}
+	writeMsg(w, r, http.StatusOK, h)
 }
 
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
@@ -292,39 +391,32 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	}
 	target, err := intParam(r, "target", -1)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
 		return
 	}
 	k, err := intParam(r, "k", s.opts.maxRankK())
 	if err != nil {
-		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
 		return
 	}
 	if k <= 0 || k > s.opts.maxRankK() {
-		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "parameter k: %d outside [1,%d]", k, s.opts.maxRankK())
+		writeError(w, r, http.StatusBadRequest, tivwire.CodeBadRequest, "parameter k: %d outside [1,%d]", k, s.opts.maxRankK())
 		return
 	}
 	opts, err := queryOptions(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
 		return
 	}
-	ranked, epoch, err := s.b.Rank(r.Context(), target, opts.Candidates, opts)
-	if err != nil {
-		serviceError(w, err)
-		return
-	}
-	truncated := false
-	if len(ranked) > k {
-		ranked = ranked[:k]
-		truncated = true
-	}
-	resp := tivwire.RankResponse{Target: target, Epoch: epoch, Truncated: truncated,
-		Selections: make([]tivwire.Selection, len(ranked))}
-	for i, sel := range ranked {
-		resp.Selections[i] = tivwire.FromSelection(sel)
-	}
-	writeJSON(w, http.StatusOK, resp)
+	s.serveQuery(w, r, tivaware.Query{
+		Kind:            tivaware.KindRank,
+		Target:          target,
+		K:               k,
+		Candidates:      opts.Candidates,
+		SeverityPenalty: opts.SeverityPenalty,
+		ExcludeViolated: opts.ExcludeViolated,
+		Scatter:         opts.Scatter,
+	})
 }
 
 func (s *Server) handleClosest(w http.ResponseWriter, r *http.Request) {
@@ -333,22 +425,21 @@ func (s *Server) handleClosest(w http.ResponseWriter, r *http.Request) {
 	}
 	target, err := intParam(r, "target", -1)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
 		return
 	}
 	opts, err := queryOptions(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
 		return
 	}
-	sel, epoch, err := s.b.ClosestNode(r.Context(), target, opts)
-	if err != nil {
-		serviceError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, tivwire.RankResponse{
-		Target: target, Epoch: epoch,
-		Selections: []tivwire.Selection{tivwire.FromSelection(sel)},
+	s.serveQuery(w, r, tivaware.Query{
+		Kind:            tivaware.KindClosest,
+		Target:          target,
+		Candidates:      opts.Candidates,
+		SeverityPenalty: opts.SeverityPenalty,
+		ExcludeViolated: opts.ExcludeViolated,
+		Scatter:         opts.Scatter,
 	})
 }
 
@@ -358,25 +449,25 @@ func (s *Server) handleDetour(w http.ResponseWriter, r *http.Request) {
 	}
 	i, err := intParam(r, "i", -1)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
 		return
 	}
 	j, err := intParam(r, "j", -1)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
 		return
 	}
 	mod, rem, err := residueParams(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
 		return
 	}
-	d, epoch, err := s.b.DetourPath(r.Context(), i, j, mod, rem)
-	if err != nil {
-		serviceError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, tivwire.DetourResponse{Epoch: epoch, Detour: tivwire.FromDetour(d)})
+	s.serveQuery(w, r, tivaware.Query{
+		Kind:    tivaware.KindDetour,
+		I:       i,
+		J:       j,
+		Scatter: tivaware.Scatter{Mod: mod, Rem: rem},
+	})
 }
 
 func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
@@ -385,24 +476,23 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 	}
 	k, err := intParam(r, "k", 10)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
 		return
 	}
 	if k <= 0 || k > s.opts.maxRankK() {
-		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "parameter k: %d outside [1,%d]", k, s.opts.maxRankK())
+		writeError(w, r, http.StatusBadRequest, tivwire.CodeBadRequest, "parameter k: %d outside [1,%d]", k, s.opts.maxRankK())
 		return
 	}
 	mod, rem, err := residueParams(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
 		return
 	}
-	edges, epoch, err := s.b.TopEdges(r.Context(), k, mod, rem)
-	if err != nil {
-		serviceError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, tivwire.TopResponse{Epoch: epoch, Edges: tivwire.FromEdges(edges)})
+	s.serveQuery(w, r, tivaware.Query{
+		Kind:    tivaware.KindTop,
+		K:       k,
+		Scatter: tivaware.Scatter{Mod: mod, Rem: rem},
+	})
 }
 
 func (s *Server) handleDelay(w http.ResponseWriter, r *http.Request) {
@@ -411,50 +501,34 @@ func (s *Server) handleDelay(w http.ResponseWriter, r *http.Request) {
 	}
 	i, err := intParam(r, "i", -1)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
 		return
 	}
 	j, err := intParam(r, "j", -1)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
 		return
 	}
 	if i < 0 || j < 0 || i >= s.b.N() || j >= s.b.N() {
-		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "pair (%d,%d) out of range [0,%d)", i, j, s.b.N())
+		writeError(w, r, http.StatusBadRequest, tivwire.CodeBadRequest, "pair (%d,%d) out of range [0,%d)", i, j, s.b.N())
 		return
 	}
 	d, ok, err := s.b.Delay(r.Context(), i, j)
 	if err != nil {
-		serviceError(w, err)
+		serviceError(w, r, err)
 		return
 	}
 	if !ok {
 		d = -1
 	}
-	writeJSON(w, http.StatusOK, tivwire.DelayResponse{I: i, J: j, Delay: d, OK: ok})
+	writeMsg(w, r, http.StatusOK, tivwire.DelayResponse{I: i, J: j, Delay: d, OK: ok})
 }
 
 func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	an, epoch, version, err := s.b.Analysis(r.Context())
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		serviceError(w, err)
-		return
-	}
-	if err != nil {
-		writeError(w, http.StatusConflict, tivwire.CodeDiverged, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, tivwire.AnalysisResponse{
-		Epoch:                     epoch,
-		Version:                   version,
-		N:                         s.b.N(),
-		ViolatingTriangles:        an.ViolatingTriangles,
-		Triangles:                 an.Triangles,
-		ViolatingTriangleFraction: an.ViolatingTriangleFraction(),
-	})
+	s.serveQuery(w, r, tivaware.Query{Kind: tivaware.KindAnalysis})
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
@@ -462,25 +536,24 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.b.Live() {
-		writeError(w, http.StatusConflict, tivwire.CodeNotLive, "updates require a live service (tivd -live)")
+		writeError(w, r, http.StatusConflict, tivwire.CodeNotLive, "updates require a live service (tivd -live)")
 		return
 	}
 	var req tivwire.UpdateRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "decoding body: %v", err)
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, r, http.StatusBadRequest, tivwire.CodeBadRequest, "decoding body: %v", err)
 		return
 	}
 	if len(req.Updates) == 0 {
-		writeError(w, http.StatusBadRequest, tivwire.CodeBadRequest, "empty update batch")
+		writeError(w, r, http.StatusBadRequest, tivwire.CodeBadRequest, "empty update batch")
 		return
 	}
 	cs, err := s.b.ApplyBatch(r.Context(), req.ToUpdates())
 	if err != nil {
-		serviceError(w, err)
+		serviceError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, tivwire.FromChangeSet(cs))
+	writeMsg(w, r, http.StatusOK, tivwire.FromChangeSet(cs))
 }
 
 // handleSubscribe streams violated-edge change sets as server-sent
@@ -495,12 +568,12 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.b.Live() {
-		writeError(w, http.StatusConflict, tivwire.CodeNotLive, "subscriptions require a live service (tivd -live)")
+		writeError(w, r, http.StatusConflict, tivwire.CodeNotLive, "subscriptions require a live service (tivd -live)")
 		return
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, tivwire.CodeInternal, "streaming unsupported by this connection")
+		writeError(w, r, http.StatusInternalServerError, tivwire.CodeInternal, "streaming unsupported by this connection")
 		return
 	}
 	ctx, stop := context.WithCancel(r.Context())
@@ -512,7 +585,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	s.subMu.Lock()
 	if s.closed.Load() {
 		s.subMu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, tivwire.CodeUnavailable, "server shutting down")
+		writeError(w, r, http.StatusServiceUnavailable, tivwire.CodeUnavailable, "server shutting down")
 		return
 	}
 	id := s.subSeq
@@ -538,7 +611,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		}
 	})
 	if err != nil {
-		serviceError(w, err)
+		serviceError(w, r, err)
 		return
 	}
 	defer cancel()

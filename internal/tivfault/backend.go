@@ -88,6 +88,18 @@ func (f *faultBackend) Analysis(ctx context.Context) (tiv.Analysis, uint64, uint
 	return f.b.Analysis(ctx)
 }
 
+func (f *faultBackend) QueryBatch(ctx context.Context, queries []tivaware.Query) ([]tivaware.Result, uint64, error) {
+	if err := f.gate(ctx); err != nil {
+		return nil, 0, err
+	}
+	return f.b.QueryBatch(ctx, queries)
+}
+
+// CacheVersion passes through un-faulted: it is the coherence token
+// of the server's query cache, and faulting it would only disable
+// caching, not exercise a failure mode the HTTP surface can observe.
+func (f *faultBackend) CacheVersion() (uint64, uint64) { return f.b.CacheVersion() }
+
 func (f *faultBackend) ApplyBatch(ctx context.Context, updates []tiv.Update) (tiv.ChangeSet, error) {
 	if err := f.gate(ctx); err != nil {
 		return tiv.ChangeSet{}, err

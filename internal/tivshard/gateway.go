@@ -384,7 +384,8 @@ func mergeSorted[T any](lists [][]T, less func(a, b T) bool, limit int) []T {
 
 // withClass returns opts restricted to shard s's residue class.
 func (g *Gateway) withClass(opts tivaware.QueryOptions, s int) tivaware.QueryOptions {
-	opts.Mod, opts.Rem = g.k, s
+	opts.Scatter = tivaware.Scatter{Mod: g.k, Rem: s}
+	opts.Mod, opts.Rem = 0, 0
 	return opts
 }
 
@@ -409,8 +410,8 @@ func (g *Gateway) classShard(mod, rem int) (int, error) {
 // carrying a residue restriction is routed to a single shard (every
 // shard holds the full replica, so any shard answers any class).
 func (g *Gateway) Rank(ctx context.Context, target int, candidates []int, opts tivaware.QueryOptions) ([]tivaware.Selection, error) {
-	if opts.Mod != 0 {
-		s, err := g.classShard(opts.Mod, opts.Rem)
+	if sc := opts.Residue(); sc.Mod != 0 {
+		s, err := g.classShard(sc.Mod, sc.Rem)
 		if err != nil {
 			return nil, err
 		}
@@ -439,8 +440,8 @@ func (g *Gateway) KClosest(ctx context.Context, target, k int, opts tivaware.Que
 	if k <= 0 {
 		return nil, fmt.Errorf("tivshard: KClosest k = %d, want > 0", k)
 	}
-	if opts.Mod != 0 {
-		s, err := g.classShard(opts.Mod, opts.Rem)
+	if sc := opts.Residue(); sc.Mod != 0 {
+		s, err := g.classShard(sc.Mod, sc.Rem)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,239 @@
+package tivwire
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// wireMessages is one representative of every framed message type,
+// deliberately exercising the awkward states: nil vs empty slices,
+// absent optional structs, negative ints, zero floats, SSE rescan
+// markers, and error envelopes.
+func wireMessages() []any {
+	return []any{
+		&Health{Status: "ok", N: 64, Live: true, Epoch: 9, Version: 12},
+		&Health{Status: "degraded", N: 3, Cache: &CacheStats{Hits: 10, Misses: 4, Entries: 2}},
+		&RankResponse{Target: 5, Epoch: 2, Truncated: true, Selections: []Selection{
+			{Node: 1, Delay: 10.5, Severity: 0.25, Violated: true, Violations: 3, Score: 11},
+			{Node: -1, Delay: 0, Severity: 0, Violations: -1, Score: 0},
+		}},
+		&RankResponse{Target: 0, Selections: []Selection{}}, // present-empty, not null
+		&RankResponse{Target: 7},                            // null selections
+		&DetourResponse{Epoch: 4, Detour: Detour{I: 1, J: 2, Direct: 30, Via: 17, ViaDelay: 22.5, Gain: 7.5}},
+		&DetourResponse{Detour: Detour{I: 0, J: 9, Direct: 5, Via: -1}}, // no detour found
+		&TopResponse{Epoch: 1, Edges: []Edge{{I: 0, J: 1, Severity: 9.5}, {I: 4, J: 2, Severity: 0.125}}},
+		&TopResponse{Edges: []Edge{}},
+		&DelayResponse{I: 3, J: 8, Delay: 41.25, OK: true},
+		&DelayResponse{I: 8, J: 3, OK: false},
+		&AnalysisResponse{Epoch: 3, Version: 5, N: 100, ViolatingTriangles: 1234, Triangles: 161700, ViolatingTriangleFraction: 1234.0 / 161700},
+		&ChangeSet{Version: 7, NewlyViolated: []Edge{{I: 1, J: 2, Severity: 3}}, Cleared: []Edge{{I: 4, J: 5}}},
+		&ChangeSet{Version: 8, Rescan: true}, // the SSE resync marker
+		&Error{Error: "node 99 out of range", Code: CodeBadRequest},
+		&Error{Error: "shard down", Code: CodeUnavailable, RetryAfter: 1.5},
+		&Hello{N: 32, Version: 6, Epoch: 6},
+		&UpdateRequest{Updates: []Update{{I: 0, J: 1, RTT: 12.5}, {I: 2, J: 3, RTT: 99}}},
+		&BatchRequest{Queries: []Query{
+			{Kind: "rank", Target: 4, K: 8, Candidates: []int{1, 2, 3}, Penalty: 2, Exclude: true},
+			{Kind: "rank", Target: 1, Candidates: []int{}}, // empty candidate set ≠ all nodes
+			{Kind: "detour", I: 3, J: 9, Scatter: Scatter{Mod: 3, Rem: 1}},
+			{Kind: "analysis"},
+		}},
+		&BatchResponse{Epoch: 11, Results: []Result{
+			{Kind: "rank", Rank: &RankResponse{Target: 4, Epoch: 11, Selections: []Selection{{Node: 2, Score: 1}}}},
+			{Kind: "detour", Err: &Error{Error: "node 99 out of range", Code: CodeBadRequest}},
+			{Kind: "delay", Delay: &DelayResponse{I: 1, J: 2, Delay: 8, OK: true}},
+			{Kind: "analysis", Analysis: &AnalysisResponse{Epoch: 11, N: 32, Triangles: 4960}},
+		}},
+	}
+}
+
+// TestBinaryJSONDifferential proves the two codecs are interchangeable
+// at the decoded-struct level: for every message, JSON round trip and
+// binary round trip must land on identical structs.
+func TestBinaryJSONDifferential(t *testing.T) {
+	for _, msg := range wireMessages() {
+		t.Run(reflect.TypeOf(msg).Elem().Name(), func(t *testing.T) {
+			jsBuf, err := json.Marshal(msg)
+			if err != nil {
+				t.Fatalf("json encode: %v", err)
+			}
+			viaJSON := reflect.New(reflect.TypeOf(msg).Elem()).Interface()
+			if err := json.Unmarshal(jsBuf, viaJSON); err != nil {
+				t.Fatalf("json decode: %v", err)
+			}
+
+			binBuf, err := MarshalBinary(msg)
+			if err != nil {
+				t.Fatalf("binary encode: %v", err)
+			}
+			viaBinary, err := UnmarshalBinary(binBuf)
+			if err != nil {
+				t.Fatalf("binary decode: %v", err)
+			}
+
+			if !reflect.DeepEqual(viaJSON, viaBinary) {
+				t.Errorf("codecs disagree:\n json:   %#v\n binary: %#v", viaJSON, viaBinary)
+			}
+			// And the typed decode path must agree with the generic one.
+			into := reflect.New(reflect.TypeOf(msg).Elem()).Interface()
+			if err := UnmarshalBinaryInto(binBuf, into); err != nil {
+				t.Fatalf("UnmarshalBinaryInto: %v", err)
+			}
+			if !reflect.DeepEqual(into, viaBinary) {
+				t.Errorf("UnmarshalBinaryInto disagrees with UnmarshalBinary:\n into:    %#v\n generic: %#v", into, viaBinary)
+			}
+		})
+	}
+}
+
+// TestBinaryRejectsMangledFrames spot-checks the validation layer:
+// short frames, bad magic, bad version, length mismatches, type
+// mismatches, trailing bytes.
+func TestBinaryRejectsMangledFrames(t *testing.T) {
+	frame, err := MarshalBinary(&Hello{N: 8, Version: 1, Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]byte{
+		nil,
+		frame[:4],
+		append([]byte("XX"), frame[2:]...),
+		append([]byte{'T', 'B', 99}, frame[3:]...),
+		frame[:len(frame)-1],                     // truncated payload vs declared length
+		append(frame[:len(frame):len(frame)], 0), // extra byte vs declared length
+	}
+	for i, b := range bad {
+		if _, err := UnmarshalBinary(b); err == nil {
+			t.Errorf("mangled frame %d decoded without error", i)
+		}
+	}
+	var h Health
+	if err := UnmarshalBinaryInto(frame, &h); err == nil {
+		t.Error("Hello frame decoded into *Health without error")
+	}
+	if err := UnmarshalBinaryInto(frame, 42); err == nil {
+		t.Error("decode into non-message type did not error")
+	}
+	if _, err := MarshalBinary(struct{}{}); err == nil {
+		t.Error("encoding a non-message type did not error")
+	}
+}
+
+// TestBinarySteadyStateZeroAlloc pins the pooled traffic-plane
+// property: encoding into a reused buffer and decoding into a reused
+// struct allocates nothing once capacities are warm (string-free
+// messages; decoded strings inherently allocate).
+func TestBinarySteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops puts under the race detector; alloc counts are meaningless")
+	}
+	rank := &RankResponse{Target: 3, Epoch: 9, Selections: []Selection{
+		{Node: 1, Delay: 2, Severity: 3, Violated: true, Violations: 4, Score: 5},
+		{Node: 6, Delay: 7, Severity: 8, Violations: 9, Score: 10},
+	}}
+	cs := &ChangeSet{Version: 4, NewlyViolated: []Edge{{I: 1, J: 2, Severity: 3}}, Cleared: []Edge{{I: 9, J: 8, Severity: 7}}}
+
+	var buf []byte
+	var intoRank RankResponse
+	var intoCS ChangeSet
+	round := func() {
+		var err error
+		buf, err = AppendBinary(buf[:0], rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := UnmarshalBinaryInto(buf, &intoRank); err != nil {
+			t.Fatal(err)
+		}
+		buf, err = AppendBinary(buf[:0], cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := UnmarshalBinaryInto(buf, &intoCS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	round() // warm buffer and slice capacities
+	if allocs := testing.AllocsPerRun(100, round); allocs != 0 {
+		t.Errorf("steady-state round trip allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func BenchmarkBinaryRoundTrip(b *testing.B) {
+	rank := &RankResponse{Target: 3, Epoch: 9, Selections: make([]Selection, 16)}
+	for i := range rank.Selections {
+		rank.Selections[i] = Selection{Node: i, Delay: float64(i), Score: float64(i) * 2}
+	}
+	var buf []byte
+	var into RankResponse
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = AppendBinary(buf[:0], rank)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := UnmarshalBinaryInto(buf, &into); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJSONRoundTrip(b *testing.B) {
+	rank := &RankResponse{Target: 3, Epoch: 9, Selections: make([]Selection, 16)}
+	for i := range rank.Selections {
+		rank.Selections[i] = Selection{Node: i, Delay: float64(i), Score: float64(i) * 2}
+	}
+	var into RankResponse
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf, err := json.Marshal(rank)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := json.Unmarshal(buf, &into); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// FuzzBinaryFrameDecode feeds arbitrary bytes to the frame decoder:
+// it must never panic or over-allocate, and anything it accepts must
+// re-encode to a stable fixed point (encode(decode(x)) is idempotent
+// at the byte level — byte comparison also covers NaN payloads that
+// defeat struct equality).
+func FuzzBinaryFrameDecode(f *testing.F) {
+	for _, msg := range wireMessages() {
+		frame, err := MarshalBinary(msg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+	}
+	f.Add([]byte("TB"))
+	f.Add([]byte{'T', 'B', 1, mtHealth, 0, 0, 0, 0})
+	f.Add([]byte{'T', 'B', 1, mtBatchResponse, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := UnmarshalBinary(data)
+		if err != nil {
+			return
+		}
+		enc1, err := MarshalBinary(msg)
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		msg2, err := UnmarshalBinary(enc1)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		enc2, err := MarshalBinary(msg2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encode/decode not idempotent:\n first:  %x\n second: %x", enc1, enc2)
+		}
+	})
+}

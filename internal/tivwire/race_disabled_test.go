@@ -1,0 +1,5 @@
+//go:build !race
+
+package tivwire
+
+const raceEnabled = false

@@ -25,6 +25,17 @@ type Health struct {
 	Live    bool   `json:"live"`    // updates and subscriptions accepted
 	Epoch   uint64 `json:"epoch"`   // service epoch sequence number
 	Version uint64 `json:"version"` // delay-source version the epoch reflects
+	// Cache reports the daemon's query-cache counters; absent when the
+	// cache is disabled. Load tools diff two readings for a hit rate.
+	Cache *CacheStats `json:"cache,omitempty"`
+}
+
+// CacheStats are the daemon's epoch-keyed query-cache counters,
+// monotone since process start.
+type CacheStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"` // currently resident entries
 }
 
 // Selection mirrors tivaware.Selection.
