@@ -1,0 +1,185 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tivaware/internal/lint/analysis"
+)
+
+// ctxPollBudget is the largest constant trip count a loop may have
+// without polling cancellation — the same 1024-iteration budget the
+// query path's ctxPollMask convention encodes (mask 1023, poll when
+// k&mask == 0).
+const ctxPollBudget = 1024
+
+// ctxPollPackages are the query-path packages (matched by import-path
+// suffix) where every loop must stay responsive to cancellation:
+// these run inside request deadlines, and PR 7's batched wire protocol
+// multiplies per-request work by the batch width.
+var ctxPollPackages = []string{"internal/tiv", "internal/tivaware"}
+
+// CtxPoll flags loops on the query path that can iterate more than
+// ctxPollBudget times without observing context cancellation. A loop
+// in a context-bearing function is compliant when its body polls the
+// context (ctx.Err / ctx.Done, directly or via a helper like
+// checkCtx), passes the context on to a callee (the callee owns the
+// budget), or has a constant trip count within the budget.
+var CtxPoll = &analysis.Analyzer{
+	Name: "ctxpoll",
+	Doc: "query-path loops (internal/tiv, internal/tivaware) must poll ctx.Err/ctx.Done, " +
+		"delegate to a context-taking callee, or have a constant trip count <= 1024",
+	Run: runCtxPoll,
+}
+
+func runCtxPoll(pass *analysis.Pass) error {
+	unitPath := strings.TrimSuffix(pass.Path, "_test")
+	scoped := false
+	for _, suffix := range ctxPollPackages {
+		if analysis.PathHasSuffix(unitPath, suffix) {
+			scoped = true
+			break
+		}
+	}
+	if !scoped {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.TestFile(f) {
+			continue // the budget binds serving code, not tests
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasCtxParam(pass, fd.Type) {
+				continue
+			}
+			checkLoops(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func hasCtxParam(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if t := pass.Info.Types[field.Type].Type; isCtxType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func isCtxType(t types.Type) bool {
+	return analysis.NamedFrom(t, "context", "Context")
+}
+
+// checkLoops flags every non-compliant loop in a context-bearing
+// function body, closures included: the epoch build work regularly
+// runs inside goroutine closures that capture ctx.
+func checkLoops(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			if l.Body != nil && !loopCompliant(pass, l.Body) && !tripWithinBudget(pass, l) {
+				pass.Reportf(l.Pos(),
+					"query-path loop never polls cancellation; poll ctx (e.g. `if k&ctxPollMask == 0 { if err := ctx.Err(); err != nil { ... } }`), pass ctx to a callee, or bound the trip count at %d", ctxPollBudget)
+			}
+		case *ast.RangeStmt:
+			if l.Body != nil && !loopCompliant(pass, l.Body) && !rangeWithinBudget(pass, l) {
+				pass.Reportf(l.Pos(),
+					"query-path loop never polls cancellation; poll ctx (e.g. `if k&ctxPollMask == 0 { if err := ctx.Err(); err != nil { ... } }`), pass ctx to a callee, or bound the trip count at %d", ctxPollBudget)
+			}
+		}
+		return true
+	})
+}
+
+// loopCompliant reports whether the loop body observes cancellation:
+// a ctx.Err()/ctx.Done() call on any context value, or any call that
+// receives a context (the callee then owns the poll budget — this is
+// what blesses `checkCtx(ctx)` and nested query calls).
+func loopCompliant(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	ok := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		if sel, isSel := call.Fun.(*ast.SelectorExpr); isSel {
+			if (sel.Sel.Name == "Err" || sel.Sel.Name == "Done") &&
+				isCtxType(pass.Info.Types[sel.X].Type) {
+				ok = true
+				return false
+			}
+		}
+		for _, arg := range call.Args {
+			if isCtxType(pass.Info.Types[arg].Type) {
+				ok = true
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// tripWithinBudget proves a three-clause loop `for i := lo; i < hi;
+// i++` (or <=) runs at most ctxPollBudget iterations, with lo and hi
+// compile-time constants.
+func tripWithinBudget(pass *analysis.Pass, l *ast.ForStmt) bool {
+	post, ok := l.Post.(*ast.IncDecStmt)
+	if !ok || post.Tok != token.INC {
+		return false
+	}
+	init, ok := l.Init.(*ast.AssignStmt)
+	if !ok || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		return false
+	}
+	lo, ok := constInt(pass, init.Rhs[0])
+	if !ok {
+		return false
+	}
+	cond, ok := l.Cond.(*ast.BinaryExpr)
+	if !ok || (cond.Op != token.LSS && cond.Op != token.LEQ) {
+		return false
+	}
+	hi, ok := constInt(pass, cond.Y)
+	if !ok {
+		return false
+	}
+	trips := hi - lo
+	if cond.Op == token.LEQ {
+		trips++
+	}
+	return trips <= ctxPollBudget
+}
+
+// rangeWithinBudget proves a range loop iterates a fixed-size array
+// of at most ctxPollBudget elements.
+func rangeWithinBudget(pass *analysis.Pass, l *ast.RangeStmt) bool {
+	t := pass.Info.Types[l.X].Type
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	arr, ok := t.Underlying().(*types.Array)
+	return ok && arr.Len() <= ctxPollBudget
+}
+
+func constInt(pass *analysis.Pass, e ast.Expr) (int64, bool) {
+	tv := pass.Info.Types[e]
+	if tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}

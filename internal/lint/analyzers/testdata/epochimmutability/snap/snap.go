@@ -1,0 +1,84 @@
+// Package snap is the epochimmutability fixture: copy-on-write
+// snapshots behind an atomic.Pointer, with the mutation shapes the
+// analyzer must flag and the legal shapes it must not.
+package snap
+
+import "sync/atomic"
+
+type epoch struct {
+	counts []int
+	labels map[string]int
+	total  int
+}
+
+type store struct {
+	cur atomic.Pointer[epoch]
+}
+
+// proberBug is the PR 6 prober bug shape: load the published snapshot
+// and mutate it in place.
+func (s *store) proberBug(i int) {
+	e := s.cur.Load()
+	e.counts[i]++ // want "mutates state loaded from an atomic pointer"
+}
+
+// directWrite mutates through the Load call itself, no intermediate
+// variable.
+func (s *store) directWrite() {
+	s.cur.Load().total = 0 // want "mutates the published snapshot"
+}
+
+// aliasWrite mutates through an interior alias: a slice copied out of
+// the snapshot still shares the snapshot's backing array.
+func (s *store) aliasWrite(i int) {
+	e := s.cur.Load()
+	c := e.counts
+	c[i] = 5 // want "mutates state loaded from an atomic pointer"
+}
+
+// mapAlias: maps are pointer-shaped too.
+func (s *store) mapAlias(k string) {
+	e := s.cur.Load()
+	l := e.labels
+	l[k] = 1 // want "mutates state loaded from an atomic pointer"
+}
+
+// copyOnWriteOK is the sanctioned pattern: build a fresh value,
+// mutate the fresh value, publish it with Store.
+func (s *store) copyOnWriteOK(i int) {
+	old := s.cur.Load()
+	next := &epoch{counts: append([]int(nil), old.counts...), total: old.total}
+	next.counts[i]++ // fresh value: legal
+	s.cur.Store(next)
+}
+
+// valueCopyOK: copying a scalar (or struct) out of the snapshot
+// breaks aliasing; mutating the copy is legal.
+func (s *store) valueCopyOK() int {
+	e := s.cur.Load()
+	t := e.total
+	t++
+	return t
+}
+
+// rebindOK: rebinding the snapshot variable itself is not a mutation
+// of snapshot state.
+func (s *store) rebindOK() {
+	e := s.cur.Load()
+	e = &epoch{}
+	e.total = 1 // e no longer aliases the snapshot (mixed provenance)
+	_ = e
+}
+
+// loadOrAllocate is the documented limitation: a variable with mixed
+// provenance (sometimes the snapshot, sometimes fresh) is not
+// tracked, so this stays silent even on the branch where e is the
+// published snapshot. Single-origin flows — the bug shape that
+// actually shipped — are always caught.
+func (s *store) loadOrAllocate() {
+	e := s.cur.Load()
+	if e == nil {
+		e = &epoch{}
+	}
+	e.total++ // mixed provenance: not flagged (documented opt-out)
+}

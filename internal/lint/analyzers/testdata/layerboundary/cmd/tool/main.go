@@ -1,0 +1,22 @@
+// Command tool is a binary: binaries consume the service API, they do
+// not construct the substrate or edit delay data.
+package main
+
+import (
+	"fixture/internal/delayspace"
+	"fixture/internal/tiv"
+	"fixture/internal/tivaware"
+)
+
+func main() {
+	svc := tivaware.NewService(8) // the sanctioned path
+	_ = svc
+
+	e := tiv.NewEngine(8) // want "tiv.NewEngine called outside"
+	_ = e
+	m := tiv.Monitor{} // want "tiv.Monitor composite literal outside"
+	_ = m
+
+	d := &delayspace.Matrix{}
+	d.Set(0, 1, 1) // want "Matrix.Set in a serving-plane package"
+}

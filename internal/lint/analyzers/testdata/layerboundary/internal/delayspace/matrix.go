@@ -1,0 +1,19 @@
+// Package delayspace mirrors the delay-matrix substrate for the
+// layerboundary fixture.
+package delayspace
+
+type Matrix struct {
+	d map[[2]int]float64
+}
+
+func (m *Matrix) Set(i, j int, v float64) {
+	if m.d == nil {
+		m.d = map[[2]int]float64{}
+	}
+	m.d[[2]int{i, j}] = v
+}
+
+func (m *Matrix) At(i, j int) (float64, bool) {
+	v, ok := m.d[[2]int{i, j}]
+	return v, ok
+}

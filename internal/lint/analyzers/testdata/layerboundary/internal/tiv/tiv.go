@@ -1,0 +1,19 @@
+// Package tiv mirrors the detection substrate for the layerboundary
+// fixture: inside the substrate, construction is blessed.
+package tiv
+
+type Engine struct {
+	N int
+}
+
+type Monitor struct {
+	E *Engine
+}
+
+func NewEngine(n int) *Engine {
+	return &Engine{N: n}
+}
+
+func NewMonitor(e *Engine) *Monitor {
+	return &Monitor{E: e}
+}

@@ -1,0 +1,20 @@
+// Package tivaware is the blessed service layer: it constructs the
+// substrate (that is its whole job) and, as measurement-side code,
+// may build matrices.
+package tivaware
+
+import (
+	"fixture/internal/delayspace"
+	"fixture/internal/tiv"
+)
+
+type Service struct {
+	Mon *tiv.Monitor
+}
+
+func NewService(n int) *Service {
+	m := &delayspace.Matrix{}
+	m.Set(0, 1, 2.5) // measurement side: legal
+	e := tiv.NewEngine(n)
+	return &Service{Mon: tiv.NewMonitor(e)}
+}

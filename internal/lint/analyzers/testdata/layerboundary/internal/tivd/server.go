@@ -1,0 +1,33 @@
+// Package tivd is serving-plane: it reads published snapshots and
+// must neither construct the substrate nor edit delay data.
+package tivd
+
+import (
+	"fixture/internal/delayspace"
+	"fixture/internal/tiv"
+	"fixture/internal/tivaware"
+)
+
+type Server struct {
+	svc *tivaware.Service
+}
+
+// readOnlyOK: reading matrices and using the service is the sanctioned
+// surface.
+func (s *Server) readOnlyOK(m *delayspace.Matrix) (float64, bool) {
+	return m.At(1, 2)
+}
+
+// poison mutates delay data on the serving plane.
+func (s *Server) poison(m *delayspace.Matrix) {
+	m.Set(1, 2, 3) // want "Matrix.Set in a serving-plane package"
+}
+
+// bypass constructs the substrate instead of going through
+// tivaware.Service.
+func (s *Server) bypass() *tiv.Monitor {
+	e := tiv.NewEngine(4) // want "tiv.NewEngine called outside"
+	_ = e
+	mon := tiv.Monitor{} // want "tiv.Monitor composite literal outside"
+	return &mon
+}

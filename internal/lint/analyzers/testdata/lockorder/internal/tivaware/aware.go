@@ -1,0 +1,32 @@
+// Package tivaware pins the service-layer order mu < subMu: the
+// epoch-build lock is released before subscriber fan-out takes the
+// registry lock, never the other way around.
+package tivaware
+
+import "sync"
+
+type service struct {
+	mu    sync.Mutex
+	subMu sync.Mutex
+}
+
+func (s *service) fanOutOK() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.subMu.Lock()
+	s.subMu.Unlock()
+}
+
+func (s *service) nestedOK() {
+	s.mu.Lock()
+	s.subMu.Lock()
+	s.subMu.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *service) inverted() {
+	s.subMu.Lock()
+	s.mu.Lock() // want "lock order violation: mu acquired while holding subMu"
+	s.mu.Unlock()
+	s.subMu.Unlock()
+}

@@ -1,0 +1,154 @@
+// Package tivshard is the lockorder fixture for the gateway's
+// declared hierarchy: ownerMu (indexed family) < journalMu < subMu.
+package tivshard
+
+import "sync"
+
+type gateway struct {
+	ownerMu   []sync.Mutex
+	journalMu sync.Mutex
+	subMu     sync.RWMutex
+}
+
+// orderedOK nests in the declared direction.
+func (g *gateway) orderedOK() {
+	g.journalMu.Lock()
+	g.subMu.Lock()
+	g.subMu.Unlock()
+	g.journalMu.Unlock()
+}
+
+// inverted nests against the declared direction.
+func (g *gateway) inverted() {
+	g.subMu.Lock()
+	g.journalMu.Lock() // want "lock order violation: journalMu acquired while holding subMu"
+	g.journalMu.Unlock()
+	g.subMu.Unlock()
+}
+
+// rlockCounts: read locks participate in deadlock cycles too.
+func (g *gateway) rlockCounts() {
+	g.subMu.RLock()
+	g.journalMu.Lock() // want "lock order violation: journalMu acquired while holding subMu"
+	g.journalMu.Unlock()
+	g.subMu.RUnlock()
+}
+
+// selfDeadlock re-acquires a held non-reentrant mutex.
+func (g *gateway) selfDeadlock() {
+	g.journalMu.Lock()
+	g.journalMu.Lock() // want "self-deadlock"
+	g.journalMu.Unlock()
+	g.journalMu.Unlock()
+}
+
+// viaCallee inverts the order through a same-package call: the callee
+// summary carries its acquisitions to this call site.
+func (g *gateway) viaCallee() {
+	g.subMu.Lock()
+	g.takeJournal() // want "call to takeJournal acquires journalMu while holding subMu"
+	g.subMu.Unlock()
+}
+
+func (g *gateway) takeJournal() {
+	g.journalMu.Lock()
+	g.journalMu.Unlock()
+}
+
+// viaTransitiveCallee inverts through two hops: summaries close
+// transitively.
+func (g *gateway) viaTransitiveCallee() {
+	g.subMu.Lock()
+	g.hop() // want "call to hop acquires journalMu while holding subMu"
+	g.subMu.Unlock()
+}
+
+func (g *gateway) hop() {
+	g.takeJournal()
+}
+
+// reentrantCallee re-acquires a held mutex through a call.
+func (g *gateway) reentrantCallee() {
+	g.journalMu.Lock()
+	g.takeJournal() // want "may re-acquire journalMu already held here"
+	g.journalMu.Unlock()
+}
+
+// ascendingOK is the canonical family scan: indices strictly
+// increase, so racing multi-lock holders cannot cycle.
+func (g *gateway) ascendingOK() {
+	for i := 0; i < len(g.ownerMu); i++ {
+		g.ownerMu[i].Lock()
+	}
+	for i := 0; i < len(g.ownerMu); i++ {
+		g.ownerMu[i].Unlock()
+	}
+}
+
+// collectThenLockOK is the ApplyBatch idiom: indices are collected in
+// ascending order, then locked by ranging over the collected slice.
+func (g *gateway) collectThenLockOK(want map[int]bool) {
+	var order []int
+	for i := 0; i < len(g.ownerMu); i++ {
+		if want[i] {
+			order = append(order, i)
+		}
+	}
+	for _, i := range order {
+		g.ownerMu[i].Lock()
+	}
+	for _, i := range order {
+		g.ownerMu[i].Unlock()
+	}
+}
+
+// descending walks the family backwards: two racing calls deadlock
+// against an ascending holder.
+func (g *gateway) descending() {
+	for i := len(g.ownerMu) - 1; i >= 0; i-- {
+		g.ownerMu[i].Lock() // want "cannot prove ascending index order"
+	}
+	for i := 0; i < len(g.ownerMu); i++ {
+		g.ownerMu[i].Unlock()
+	}
+}
+
+// pairwise takes two family locks with no order relation between the
+// indices.
+func (g *gateway) pairwise(a, b int) {
+	g.ownerMu[a].Lock()
+	g.ownerMu[b].Lock() // want "multiple ownerMu"
+	g.ownerMu[b].Unlock()
+	g.ownerMu[a].Unlock()
+}
+
+// familyThenJournalOK follows the declared order: ownerMu before
+// journalMu.
+func (g *gateway) familyThenJournalOK(i int) {
+	g.ownerMu[i].Lock()
+	g.journalMu.Lock()
+	g.journalMu.Unlock()
+	g.ownerMu[i].Unlock()
+}
+
+// goroutineOK: a spawned goroutine does not run under the launcher's
+// locks, so its journalMu acquisition is not nested under subMu.
+func (g *gateway) goroutineOK() {
+	g.subMu.Lock()
+	go func() {
+		g.journalMu.Lock()
+		g.journalMu.Unlock()
+	}()
+	g.subMu.Unlock()
+}
+
+// earlyReturnOK: a lock taken in a branch that always returns is not
+// held on the fall-through path (the deferred-Unlock fast path).
+func (g *gateway) earlyReturnOK(fast bool) {
+	if fast {
+		g.subMu.Lock()
+		defer g.subMu.Unlock()
+		return
+	}
+	g.takeJournal() // subMu not held here: branch above terminated
+}

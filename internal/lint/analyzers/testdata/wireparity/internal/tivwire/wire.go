@@ -1,0 +1,76 @@
+// Package tivwire is the wireparity fixture: a miniature protocol
+// with one fully wired message (Ping), one message missing two of its
+// binary surfaces (Pong), one JSON-only orphan (Orphan), and one
+// payload fragment that is legitimately never framed (Fragment).
+package tivwire
+
+// Ping is fully registered: msgTypeOf, encodeMsg, UnmarshalBinary,
+// and the wireMessages corpus all know it.
+type Ping struct {
+	Seq int       `json:"seq"`
+	F   *Fragment `json:"f,omitempty"`
+}
+
+// Pong is registered in msgTypeOf and decodable, but was never added
+// to the encoder or the differential corpus — the drift wireparity
+// exists to catch.
+type Pong struct { // want "missing its binary encode case" "missing its fuzz/differential corpus entry"
+	Seq int `json:"seq"`
+}
+
+// Orphan is a top-level JSON message no struct embeds and msgTypeOf
+// never learned about: it travels over JSON only.
+type Orphan struct { // want "not registered in msgTypeOf"
+	Name string `json:"name"`
+}
+
+// Fragment is embedded in Ping, so it is encoded inline by its parent
+// and owes no frame registration.
+type Fragment struct {
+	X int `json:"x"`
+}
+
+// helper is unexported and untagged: out of scope entirely.
+type helper struct {
+	buf []byte
+}
+
+func msgTypeOf(msg any) (byte, bool) {
+	switch msg.(type) {
+	case *Ping:
+		return 1, true
+	case *Pong:
+		return 2, true
+	}
+	return 0, false
+}
+
+func encodeMsg(msg any) []byte {
+	switch m := msg.(type) {
+	case *Ping:
+		return []byte{1, byte(m.Seq)}
+	}
+	return nil
+}
+
+type frame struct {
+	code byte
+	data []byte
+}
+
+func (f *frame) UnmarshalBinary() any {
+	switch f.code {
+	case 1:
+		return new(Ping)
+	case 2:
+		return new(Pong)
+	}
+	return nil
+}
+
+// wireMessages is the corpus the JSON/binary differential iterates.
+func wireMessages() []any {
+	return []any{
+		&Ping{Seq: 1, F: &Fragment{X: 2}},
+	}
+}

@@ -1,0 +1,174 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"tivaware/internal/lint/analysis"
+)
+
+// wireParityAnchors are the surfaces every registered tivwire message
+// must appear on beyond the msgTypeOf registry itself. The JSON side
+// needs no registration (encoding/json is reflective), so a message
+// wired into only some of these silently drifts off the binary codec
+// or the differential corpus — the exact drift PR 7's binary protocol
+// work guarded against by hand.
+var wireParityAnchors = []struct {
+	fn   string // function (or method) whose body must reference the type
+	what string
+}{
+	{"encodeMsg", "binary encode case (encodeMsg)"},
+	{"UnmarshalBinary", "binary decode case (UnmarshalBinary)"},
+	{"wireMessages", "fuzz/differential corpus entry (wireMessages in binary_test.go)"},
+}
+
+// WireParity checks JSON/binary codec parity in internal/tivwire.
+// msgTypeOf's type switch is the authoritative frame registry; every
+// type it lists must also be referenced by encodeMsg, UnmarshalBinary,
+// and the wireMessages corpus the JSON/binary differential and fuzz
+// harnesses iterate. Conversely, an exported json-tagged struct that
+// no other tivwire struct embeds (i.e. not a payload fragment like
+// Selection or Result) and that msgTypeOf does not list is an
+// unregistered message: JSON-only, invisible to the binary protocol.
+var WireParity = &analysis.Analyzer{
+	Name: "wireparity",
+	Doc: "every msgTypeOf-registered tivwire message must appear in encodeMsg, UnmarshalBinary, " +
+		"and the wireMessages corpus; top-level json-tagged structs must be registered in msgTypeOf",
+	Run: runWireParity,
+}
+
+func runWireParity(pass *analysis.Pass) error {
+	if strings.HasSuffix(pass.Path, "_test") {
+		return nil // anchors live in the package unit (incl. in-package tests)
+	}
+	if !analysis.PathHasSuffix(pass.Path, "internal/tivwire") {
+		return nil
+	}
+
+	// Every named struct type in the package.
+	scope := pass.Pkg.Scope()
+	structOf := map[*types.TypeName]*types.Struct{}
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if st, ok := named.Underlying().(*types.Struct); ok {
+			structOf[tn] = st
+		}
+	}
+
+	// A struct referenced from another package struct's fields is a
+	// payload fragment (Selection, Edge, Result, ...): encoded inline
+	// by its parents, never framed on its own.
+	referenced := map[*types.TypeName]bool{}
+	for _, st := range structOf {
+		for i := 0; i < st.NumFields(); i++ {
+			if tn := fieldStructRef(st.Field(i).Type(), structOf); tn != nil {
+				referenced[tn] = true
+			}
+		}
+	}
+
+	// Type names referenced by each anchor function's body.
+	uses := map[string]map[*types.TypeName]bool{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if name != "msgTypeOf" && name != "encodeMsg" && name != "UnmarshalBinary" && name != "wireMessages" {
+				continue
+			}
+			m := uses[name]
+			if m == nil {
+				m = map[*types.TypeName]bool{}
+				uses[name] = m
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if tn, ok := pass.Info.Uses[id].(*types.TypeName); ok {
+						m[tn] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	registry, haveRegistry := uses["msgTypeOf"]
+	if !haveRegistry {
+		pass.Reportf(pass.Files[0].Pos(),
+			"wireparity: no msgTypeOf function in this unit — the binary frame registry is the parity anchor")
+		return nil
+	}
+
+	for tn := range structOf {
+		if registry[tn] {
+			// Registered message: must hold parity on every surface.
+			for _, a := range wireParityAnchors {
+				m, found := uses[a.fn]
+				if !found {
+					pass.Reportf(tn.Pos(),
+						"wire message %s: cannot verify %s — no %s function in this unit",
+						tn.Name(), a.what, a.fn)
+					continue
+				}
+				if !m[tn] {
+					pass.Reportf(tn.Pos(),
+						"wire message %s is missing its %s; JSON and binary surfaces must stay in lockstep",
+						tn.Name(), a.what)
+				}
+			}
+			continue
+		}
+		if tn.Exported() && !referenced[tn] && jsonTagged(structOf[tn]) {
+			pass.Reportf(tn.Pos(),
+				"top-level JSON message %s is not registered in msgTypeOf; it would travel over JSON but not the binary protocol — register it (and its encode/decode/corpus entries) or embed it in an existing message",
+				tn.Name())
+		}
+	}
+	return nil
+}
+
+// fieldStructRef unwraps pointers, slices, arrays, and map values to
+// the package-local named struct a field type refers to, if any.
+func fieldStructRef(t types.Type, structOf map[*types.TypeName]*types.Struct) *types.TypeName {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			t = u.Elem()
+		case *types.Named:
+			tn := u.Obj()
+			if _, ok := structOf[tn]; ok {
+				return tn
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// jsonTagged reports whether any field carries a json struct tag.
+func jsonTagged(st *types.Struct) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if strings.Contains(st.Tag(i), `json:"`) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,190 @@
+// Package lint runs the tivlint analyzer suite over the module: it
+// loads type-checked package units (internal/lint/load), applies each
+// analyzer (internal/lint/analyzers), and resolves the sanctioned
+// suppression mechanism — a "//lint:tiv <analyzer> <justification>"
+// directive comment on the flagged line or the line above it. Both
+// cmd/tivlint and the in-tree boundary test drive this package, so
+// the command line and `go test` enforce the identical checks.
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"tivaware/internal/lint/analysis"
+	"tivaware/internal/lint/load"
+)
+
+// Analyzer aliases the framework's analyzer type so callers of Run
+// need not import internal/lint/analysis separately.
+type Analyzer = analysis.Analyzer
+
+// Finding is one diagnostic, resolved against the suppression
+// directives in its file.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	// File is the path relative to the module root (slash-separated).
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+	// Suppressed marks findings silenced by a //lint:tiv directive;
+	// Justification carries the directive's stated reason. Suppressed
+	// findings do not fail the run but are reported in -json output,
+	// so every silenced invariant stays reviewable.
+	Suppressed    bool   `json:"suppressed,omitempty"`
+	Justification string `json:"justification,omitempty"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+}
+
+// Result is one lint run: every finding (active first, then
+// suppressed, both sorted by position) plus loader warnings.
+type Result struct {
+	Findings []Finding `json:"findings"`
+	Warnings []string  `json:"warnings,omitempty"`
+}
+
+// Active returns the findings that fail the run.
+func (r *Result) Active() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Run loads the packages matching patterns under the module rooted at
+// root and applies the analyzers.
+func Run(root string, patterns []string, analyzers []*analysis.Analyzer) (*Result, error) {
+	l, err := load.New(root)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Warnings: l.Warnings}
+	for _, pkg := range pkgs {
+		fs, err := RunPackage(l.Root, pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		res.Findings = append(res.Findings, fs...)
+	}
+	sort.SliceStable(res.Findings, func(i, j int) bool {
+		a, b := res.Findings[i], res.Findings[j]
+		if a.Suppressed != b.Suppressed {
+			return !a.Suppressed
+		}
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return res, nil
+}
+
+// RunPackage applies the analyzers to one loaded unit, resolving
+// suppressions. root anchors the relative file paths in findings.
+func RunPackage(root string, pkg *load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	supp := collectSuppressions(pkg)
+	var out []Finding
+	for _, a := range analyzers {
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Path:     pkg.Path,
+			TestFile: pkg.IsTestFile,
+			Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			rel, err := filepath.Rel(root, pos.Filename)
+			if err != nil {
+				rel = pos.Filename
+			}
+			f := Finding{
+				Analyzer: a.Name,
+				File:     filepath.ToSlash(rel),
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Message:  d.Message,
+			}
+			if j, ok := supp.lookup(pos.Filename, pos.Line, a.Name); ok {
+				f.Suppressed = true
+				f.Justification = j
+			}
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}
+
+// suppressionKey addresses one directive: the analyzer it silences at
+// one line of one file.
+type suppressionKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type suppressions map[suppressionKey]string
+
+// lookup finds a directive covering (file, line) for analyzer: on the
+// line itself, or on the line directly above (a comment-only line).
+func (s suppressions) lookup(file string, line int, analyzer string) (string, bool) {
+	for _, l := range [2]int{line, line - 1} {
+		if j, ok := s[suppressionKey{file, l, analyzer}]; ok {
+			return j, true
+		}
+	}
+	return "", false
+}
+
+// DirectivePrefix is the sanctioned suppression comment:
+// "//lint:tiv <analyzer> <justification>". A directive with no
+// justification suppresses nothing — the reason is the point.
+const DirectivePrefix = "//lint:tiv"
+
+func collectSuppressions(pkg *load.Package) suppressions {
+	out := suppressions{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, DirectivePrefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					continue // no analyzer or no justification: inert
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := suppressionKey{pos.Filename, pos.Line, fields[0]}
+				out[key] = strings.Join(fields[1:], " ")
+			}
+		}
+	}
+	return out
+}

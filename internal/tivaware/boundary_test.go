@@ -1,27 +1,27 @@
 package tivaware
 
 import (
-	"fmt"
-	"io/fs"
 	"os"
 	"path/filepath"
-	"regexp"
-	"strings"
 	"testing"
-)
 
-// engineConstruction matches direct construction of the TIV detection
-// substrate: tiv.NewEngine / tiv.NewMonitor calls and tiv.Engine /
-// tiv.Monitor composite literals. Type references (*tiv.Monitor
-// parameters, tiv.Update values, package-level helpers like
-// tiv.AllSeverities) are fine — only construction is fenced.
-var engineConstruction = regexp.MustCompile(`\btiv\.(NewEngine|NewMonitor)\s*\(|\btiv\.(Engine|Monitor)\s*\{`)
+	"tivaware/internal/lint"
+	"tivaware/internal/lint/analyzers"
+)
 
 // TestNoEngineConstructionOutsideServiceLayer enforces the API
 // boundary this package exists for: no package outside internal/tiv
 // and internal/tivaware constructs a tiv.Engine or tiv.Monitor
 // directly — every consumer goes through tivaware.Service, so TIV
 // analysis has exactly one application-facing surface.
+//
+// The check is the layerboundary analyzer from the tivlint suite,
+// run over the whole module: construction is resolved through
+// go/types, so aliased imports, shadowed package names, and matches
+// inside comments or strings are all handled correctly — the failure
+// modes the grep-based predecessor of this test had to live with.
+// cmd/tivlint runs the same analyzer in CI; this test keeps the
+// boundary enforced by a plain `go test ./...` too.
 func TestNoEngineConstructionOutsideServiceLayer(t *testing.T) {
 	root, err := filepath.Abs(filepath.Join("..", ".."))
 	if err != nil {
@@ -30,51 +30,17 @@ func TestNoEngineConstructionOutsideServiceLayer(t *testing.T) {
 	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
 		t.Fatalf("repo root not found at %s: %v", root, err)
 	}
-	var offenders []string
-	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			name := d.Name()
-			if strings.HasPrefix(name, ".") && path != root {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(path, ".go") {
-			return nil
-		}
-		rel, err := filepath.Rel(root, path)
-		if err != nil {
-			return err
-		}
-		rel = filepath.ToSlash(rel)
-		// The detection substrate and the service layer may construct
-		// engines and monitors; everyone else must not.
-		if strings.HasPrefix(rel, "internal/tiv/") || strings.HasPrefix(rel, "internal/tivaware/") {
-			return nil
-		}
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return err
-		}
-		for n, line := range strings.Split(string(data), "\n") {
-			code := line
-			if idx := strings.Index(code, "//"); idx >= 0 {
-				code = code[:idx]
-			}
-			if engineConstruction.MatchString(code) {
-				offenders = append(offenders, fmt.Sprintf("%s:%d: %s", rel, n+1, strings.TrimSpace(line)))
-			}
-		}
-		return nil
-	})
+	res, err := lint.Run(root, nil, []*lint.Analyzer{analyzers.LayerBoundary})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(offenders) > 0 {
-		t.Errorf("tiv.Engine/tiv.Monitor constructed outside internal/tiv and internal/tivaware — route through tivaware.Service instead:\n  %s",
-			strings.Join(offenders, "\n  "))
+	for _, w := range res.Warnings {
+		t.Logf("loader warning: %s", w)
+	}
+	for _, f := range res.Active() {
+		t.Errorf("%s", f)
+	}
+	if t.Failed() {
+		t.Error("tiv.Engine/tiv.Monitor construction and delayspace.Matrix mutation are fenced to their layers — route through tivaware.Service (see DESIGN.md machine-checked invariants)")
 	}
 }

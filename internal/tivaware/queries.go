@@ -171,7 +171,12 @@ func rankEpoch(ctx context.Context, e *epoch, target int, candidates []int, opts
 		candidates = opts.Candidates
 	}
 	seen := make(map[int]bool, len(candidates))
-	for _, c := range candidates {
+	for k, c := range candidates {
+		if k&ctxPollMask == 0 {
+			if err := checkCtx(ctx); err != nil {
+				return nil, err
+			}
+		}
 		if err := e.checkNode("candidate", c); err != nil {
 			return nil, err
 		}
@@ -184,6 +189,11 @@ func rankEpoch(ctx context.Context, e *epoch, target int, candidates []int, opts
 	if candidates == nil {
 		all := make([]int, 0, n-1)
 		for c := 0; c < n; c++ {
+			if c&ctxPollMask == 0 {
+				if err := checkCtx(ctx); err != nil {
+					return nil, err
+				}
+			}
 			if c != target {
 				all = append(all, c)
 			}

@@ -1,0 +1,14 @@
+module tivaware/tools
+
+go 1.22
+
+// Pinned developer/CI tooling. This module is intentionally separate
+// from the root module so the tools' dependency graphs never leak
+// into the library build; CI reads the versions out of this file and
+// `go install`s each tool at exactly that version (see the lint job).
+//
+// honnef.co/go/tools v0.4.7 is staticcheck release 2023.1.7.
+require (
+	golang.org/x/vuln v1.1.3
+	honnef.co/go/tools v0.4.7
+)

@@ -1,0 +1,12 @@
+//go:build tools
+
+// Package tools pins the repo's developer tooling, tools.go-style:
+// the blank imports force the tools into this module's go.mod so
+// their versions are reviewed like any other dependency change. The
+// "tools" build tag keeps the file out of every real build.
+package tools
+
+import (
+	_ "golang.org/x/vuln/cmd/govulncheck"
+	_ "honnef.co/go/tools/cmd/staticcheck"
+)
