@@ -153,6 +153,7 @@ func (m *Matrix) set(i, j int, d float64) {
 	}
 	m.version.Add(1)
 	for _, fn := range m.hooks {
+		//lint:tiv allocfree invoking a func value does not allocate; subscriber cost belongs to the subscriber
 		fn(i, j, old, d)
 	}
 }

@@ -51,6 +51,12 @@ type Pass struct {
 	// TestFile reports whether f is a _test.go file. Analyzers whose
 	// invariant only binds production code consult it.
 	TestFile func(f *ast.File) bool
+	// Flow carries the module-wide interprocedural layer
+	// (*flow.Graph) when the runner built one. It is typed any so this
+	// package stays dependency-free; analyzers retrieve it through
+	// flow.Of(pass) and must tolerate nil (a pass run without the
+	// layer).
+	Flow any
 	// Report delivers one finding.
 	Report func(d Diagnostic)
 }

@@ -1,0 +1,634 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tivaware/internal/lint/analysis"
+	"tivaware/internal/lint/flow"
+)
+
+// AllocFree enforces the zero-allocation contract on annotated hot
+// paths, interprocedurally: a function carrying //tiv:hotpath in its
+// doc comment — the binary codec's encode/decode, the tiv kernel
+// scans, Monitor.ApplyUpdate, the pooled client buffer path — must be
+// transitively allocation-free. The AllocsPerRun pins in the test
+// suite only prove the inputs a test happens to drive; this analyzer
+// proves the whole static call tree.
+var AllocFree = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc: `//tiv:hotpath functions must be transitively allocation-free.
+
+The analyzer walks the flow callgraph from every annotated root and
+flags, in any reachable function: escaping composite literals (&T{...},
+slice and map literals), make/new, interface conversions that box a
+non-pointer-shaped value, appends that can grow a slice other than the
+one being extended, map writes, string conversions and concatenation,
+closure creation, goroutine spawns, fmt.* calls, dynamic calls the
+graph cannot resolve, and calls into external functions outside a small
+no-allocation allowlist.
+
+Three idioms are exempt because they are how the hot paths earn
+amortized-zero behavior rather than violations of it: self-appends
+(x = append(x, ...) and x = append(x[:k], ...)), appends returned
+directly to the caller (the AppendBinary dst idiom), and lazy
+initialization guarded by the target's own nil/len/cap check.
+Allocations on terminal error branches (a branch whose last statement
+returns a non-nil error or panics) are also exempt: the contract is
+zero allocations per steady-state frame, not on failure paths.
+
+Fix by hoisting the allocation into reused scratch (see Monitor's
+scratch buffers), pooling it, or moving it behind //tiv:coldpath with a
+justification; suppress a single residual site with
+//lint:tiv allocfree <why it is amortized>.`,
+	Run: runAllocFree,
+}
+
+type allocOp struct {
+	pos  token.Pos
+	desc string
+}
+
+type hotReach struct {
+	root *flow.Func
+	via  *flow.Func // BFS predecessor, nil at roots
+}
+
+type allocFacts struct {
+	reach map[*flow.Func]hotReach
+	ops   map[*flow.Func][]allocOp
+}
+
+func runAllocFree(pass *analysis.Pass) error {
+	g := flow.Of(pass)
+	if g == nil {
+		return nil // no interprocedural layer on this pass
+	}
+	facts := g.Memo("allocfree", func() any { return computeAllocFacts(g) }).(*allocFacts)
+	for _, f := range g.UnitFuncs(pass.Path) {
+		for _, pos := range f.InertAnnotations {
+			pass.Reportf(pos, "//tiv:coldpath without a justification is inert — state why the path is exempt")
+		}
+		r, hot := facts.reach[f]
+		if !hot || f.Cold != nil {
+			continue
+		}
+		for _, op := range facts.ops[f] {
+			pass.Reportf(op.pos, "hot path allocates: %s in %s (%s)", op.desc, f.Display, hotChain(facts, f, r))
+		}
+	}
+	return nil
+}
+
+// hotChain renders the shortest annotated-root-to-f path for the
+// diagnostic, so the reader sees why a function is on a hot path.
+func hotChain(facts *allocFacts, f *flow.Func, r hotReach) string {
+	if r.via == nil {
+		return "//tiv:hotpath function"
+	}
+	var hops []string
+	for cur := f; cur != nil && cur != r.root; {
+		hops = append(hops, cur.Display)
+		rr := facts.reach[cur]
+		cur = rr.via
+	}
+	hops = append(hops, r.root.Display)
+	for i, j := 0, len(hops)-1; i < j; i, j = i+1, j-1 {
+		hops[i], hops[j] = hops[j], hops[i]
+	}
+	return "reachable from //tiv:hotpath " + strings.Join(hops, " → ")
+}
+
+func computeAllocFacts(g *flow.Graph) *allocFacts {
+	facts := &allocFacts{reach: map[*flow.Func]hotReach{}, ops: map[*flow.Func][]allocOp{}}
+	var queue []*flow.Func
+	for _, sccs := range g.SCCs() {
+		for _, f := range sccs {
+			if f.Hot != nil && f.Cold == nil {
+				facts.reach[f] = hotReach{root: f}
+				queue = append(queue, f)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		root := facts.reach[f].root
+		for _, c := range f.Calls {
+			callee := c.Callee
+			if callee == nil || callee.Cold != nil {
+				continue
+			}
+			if c.Go {
+				continue // the spawn itself is flagged; the goroutine body runs off-path
+			}
+			if _, seen := facts.reach[callee]; seen {
+				continue
+			}
+			facts.reach[callee] = hotReach{root: root, via: f}
+			queue = append(queue, callee)
+		}
+	}
+	for f := range facts.reach {
+		if f.Cold == nil {
+			facts.ops[f] = scanAllocs(f)
+		}
+	}
+	return facts
+}
+
+// scanAllocs collects the allocation operations in one function body,
+// applying the exemptions described in the analyzer doc.
+func scanAllocs(f *flow.Func) []allocOp {
+	body := f.Body()
+	if body == nil {
+		return nil // bodyless assembly stub: allocation-free by construction
+	}
+	info := f.Unit.Info
+	edges := map[*ast.CallExpr][]flow.Call{}
+	for _, c := range f.Calls {
+		edges[c.Site] = append(edges[c.Site], c)
+	}
+	var ops []allocOp
+	flow.WalkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		add := func(pos token.Pos, desc string) {
+			if errorBranchExempt(n, stack, info) {
+				return
+			}
+			ops = append(ops, allocOp{pos: pos, desc: desc})
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			add(n.Pos(), "closure creation")
+			return false
+		case *ast.GoStmt:
+			add(n.Pos(), "goroutine spawn")
+			return false
+		case *ast.CallExpr:
+			scanCall(n, stack, info, edges, add)
+			return true
+		case *ast.CompositeLit:
+			switch info.Types[n].Type.Underlying().(type) {
+			case *types.Slice:
+				if !lazyInitExempt(n, stack, info) {
+					add(n.Pos(), "slice literal")
+				}
+			case *types.Map:
+				if !lazyInitExempt(n, stack, info) {
+					add(n.Pos(), "map literal")
+				}
+			}
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok && !lazyInitExempt(n, stack, info) {
+					add(n.Pos(), "escaping composite literal (&T{...})")
+				}
+			}
+			return true
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if idx, ok := lhs.(*ast.IndexExpr); ok {
+					if _, isMap := info.Types[idx.X].Type.Underlying().(*types.Map); isMap {
+						add(idx.Pos(), "map write")
+					}
+				}
+			}
+			return true
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if b, ok := info.Types[n.X].Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					add(n.Pos(), "string concatenation")
+				}
+			}
+			return true
+		}
+		return true
+	})
+	return ops
+}
+
+// scanCall classifies one call expression: conversions, builtins,
+// external calls against the allowlist, dynamic calls, and implicit
+// interface boxing of arguments.
+func scanCall(call *ast.CallExpr, stack []ast.Node, info *types.Info, edges map[*ast.CallExpr][]flow.Call, add func(token.Pos, string)) {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		scanConversion(call, tv.Type, stack, info, add)
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			scanBuiltin(b.Name(), call, stack, info, add)
+			return
+		}
+	}
+	cs := edges[call]
+	if len(cs) == 0 {
+		return
+	}
+	for _, c := range cs {
+		if !c.Ref && c.Callee != nil && c.Callee.Cold != nil {
+			// The call heads off the hot path (//tiv:coldpath callee);
+			// evaluating its arguments — boxing included — is part of
+			// the cold branch.
+			return
+		}
+	}
+	flagged := false
+	for _, c := range cs {
+		if c.Ref {
+			continue // referenced, not called: the body is scanned via reachability
+		}
+		switch {
+		case c.Dynamic:
+			add(call.Pos(), "dynamic call through a function value (cannot summarize)")
+			flagged = true
+		case c.External != nil:
+			if desc, bad := externalAllocates(c.External); bad {
+				add(call.Pos(), desc)
+				flagged = true
+			}
+		}
+	}
+	if !flagged {
+		scanArgBoxing(call, info, add)
+	}
+}
+
+func scanConversion(call *ast.CallExpr, target types.Type, stack []ast.Node, info *types.Info, add func(token.Pos, string)) {
+	if len(call.Args) != 1 {
+		return
+	}
+	opT := info.Types[call.Args[0]].Type
+	if opT == nil {
+		return
+	}
+	tu, ou := target.Underlying(), opT.Underlying()
+	tb, _ := tu.(*types.Basic)
+	ob, _ := ou.(*types.Basic)
+	switch {
+	case tb != nil && tb.Info()&types.IsString != 0:
+		if _, fromSlice := ou.(*types.Slice); fromSlice {
+			if !comparisonOperand(call, stack) {
+				add(call.Pos(), "string conversion copies the slice")
+			}
+		} else if ob != nil && ob.Info()&types.IsInteger != 0 {
+			add(call.Pos(), "integer-to-string conversion")
+		}
+	case isSliceOfBytesOrRunes(tu):
+		if ob != nil && ob.Info()&types.IsString != 0 {
+			add(call.Pos(), "[]byte/[]rune conversion copies the string")
+		}
+	case types.IsInterface(tu):
+		if !types.IsInterface(ou) && !pointerWordShaped(ou) && !isUntypedNil(opT) {
+			add(call.Pos(), "interface conversion boxes a value")
+		}
+	}
+}
+
+// comparisonOperand reports whether call is (possibly parenthesized)
+// a direct operand of an == or != comparison. The compiler does not
+// materialize string([]byte) conversions used only for comparison.
+func comparisonOperand(call *ast.CallExpr, stack []ast.Node) bool {
+	var child ast.Node = call
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			child = p
+			continue
+		case *ast.BinaryExpr:
+			if (p.Op == token.EQL || p.Op == token.NEQ) &&
+				(ast.Node(p.X) == child || ast.Node(p.Y) == child) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func isSliceOfBytesOrRunes(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func scanBuiltin(name string, call *ast.CallExpr, stack []ast.Node, info *types.Info, add func(token.Pos, string)) {
+	switch name {
+	case "make":
+		if !lazyInitExempt(call, stack, info) {
+			add(call.Pos(), "make")
+		}
+	case "new":
+		if !lazyInitExempt(call, stack, info) {
+			add(call.Pos(), "new")
+		}
+	case "append":
+		if !appendExempt(call, stack, info) {
+			add(call.Pos(), "append to a slice other than the one being extended (may grow)")
+		}
+	}
+}
+
+// appendExempt recognizes the amortized append idioms: self-append
+// (x = append(x, ...), including a re-slice base x = append(x[:k], ...))
+// and append returned directly to the caller, which hands the caller
+// the grown buffer exactly like tivwire's AppendBinary dst contract.
+func appendExempt(call *ast.CallExpr, stack []ast.Node, info *types.Info) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	base := ast.Unparen(call.Args[0])
+	if sl, ok := base.(*ast.SliceExpr); ok {
+		base = ast.Unparen(sl.X)
+	}
+	if len(stack) == 0 {
+		return false
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.AssignStmt:
+		for i, rhs := range parent.Rhs {
+			if ast.Unparen(rhs) != call || i >= len(parent.Lhs) {
+				continue
+			}
+			return exprText(parent.Lhs[i]) == exprText(base)
+		}
+	}
+	return false
+}
+
+func exprText(e ast.Expr) string { return types.ExprString(ast.Unparen(e)) }
+
+// lazyInitExempt recognizes one-time initialization guarded by the
+// target's own state: an allocation assigned to x inside an if whose
+// condition tests x == nil or compares len(x)/cap(x). Steady-state
+// frames never enter the branch.
+func lazyInitExempt(n ast.Node, stack []ast.Node, info *types.Info) bool {
+	var target string
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.AssignStmt:
+			if target == "" && len(s.Lhs) == 1 {
+				target = exprText(s.Lhs[0])
+			}
+		case *ast.IfStmt:
+			if target != "" && condGuards(s.Cond, target) {
+				return true
+			}
+		case *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}
+
+// condGuards reports whether cond is a nil/len/cap guard on target.
+func condGuards(cond ast.Expr, target string) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		for _, side := range [2]ast.Expr{b.X, b.Y} {
+			side = ast.Unparen(side)
+			if exprText(side) == target {
+				found = true
+			}
+			if c, ok := side.(*ast.CallExpr); ok && len(c.Args) == 1 {
+				if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+					if exprText(c.Args[0]) == target {
+						found = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// errorBranchExempt reports whether n sits on a terminal error branch:
+// an if/case/select-case body whose last statement returns a non-nil
+// error or panics. The zero-allocation contract binds steady-state
+// frames; failure paths may allocate their diagnostics.
+func errorBranchExempt(n ast.Node, stack []ast.Node, info *types.Info) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var bodyStmts []ast.Stmt
+		var span ast.Node
+		switch s := stack[i].(type) {
+		case *ast.IfStmt:
+			for _, blk := range [2]ast.Stmt{s.Body, s.Else} {
+				b, ok := blk.(*ast.BlockStmt)
+				if !ok {
+					continue
+				}
+				if n.Pos() >= b.Pos() && n.End() <= b.End() && terminalErrorStmts(b.List, info) {
+					return true
+				}
+			}
+			continue
+		case *ast.CaseClause:
+			bodyStmts, span = s.Body, s
+		case *ast.CommClause:
+			bodyStmts, span = s.Body, s
+		case *ast.FuncLit:
+			return false
+		default:
+			continue
+		}
+		if n.Pos() >= span.Pos() && n.End() <= span.End() && terminalErrorStmts(bodyStmts, info) {
+			return true
+		}
+	}
+	return false
+}
+
+func terminalErrorStmts(stmts []ast.Stmt, info *types.Info) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt:
+		for _, res := range last.Results {
+			t := info.Types[res].Type
+			if t == nil || isUntypedNil(t) {
+				continue
+			}
+			if isErrorType(t) {
+				if id, ok := ast.Unparen(res).(*ast.Ident); ok && id.Name == "nil" {
+					continue
+				}
+				return true
+			}
+		}
+	case *ast.ExprStmt:
+		if c, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func pointerWordShaped(t types.Type) bool {
+	switch t.(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// allocFreePkgs are external packages whose exported API is accepted
+// as allocation-free wholesale (pure arithmetic, or append-into-dst
+// APIs whose growth the self-append/return exemptions already model).
+var allocFreePkgs = map[string]bool{
+	"math":            true,
+	"math/bits":       true,
+	"sync/atomic":     true,
+	"encoding/binary": true,
+	"unicode/utf8":    true,
+	"unsafe":          true,
+}
+
+// allocFreeFuncs are individually accepted external functions and
+// methods, keyed "pkgpath.Name" / "pkgpath.(Recv).Name". sync.Pool
+// Get/Put are the point of pooling: amortized-zero by discipline,
+// pinned by the AllocsPerRun tests.
+var allocFreeFuncs = map[string]bool{
+	"errors.Is":                    true,
+	"errors.As":                    true,
+	"errors.Unwrap":                true,
+	"sync.(Pool).Get":              true,
+	"sync.(Pool).Put":              true,
+	"sync.(Mutex).Lock":            true,
+	"sync.(Mutex).Unlock":          true,
+	"sync.(Mutex).TryLock":         true,
+	"sync.(RWMutex).Lock":          true,
+	"sync.(RWMutex).Unlock":        true,
+	"sync.(RWMutex).RLock":         true,
+	"sync.(RWMutex).RUnlock":       true,
+	"sync.(Once).Do":               true,
+	"sync.(WaitGroup).Add":         true,
+	"sync.(WaitGroup).Done":        true,
+	"time.Now":                     true,
+	"time.Since":                   true,
+	"time.(Time).Sub":              true,
+	"time.(Time).UnixNano":         true,
+	"time.(Duration).Seconds":      true,
+	"time.(Duration).Nanoseconds":  true,
+	"time.(Duration).Milliseconds": true,
+	"runtime.KeepAlive":            true,
+	"sort.Search":                  true,
+	"strconv.AppendInt":            true,
+	"strconv.AppendUint":           true,
+	"strconv.AppendFloat":          true,
+	"strconv.AppendBool":           true,
+	"strconv.AppendQuote":          true,
+	"bytes.Equal":                  true,
+	"bytes.Compare":                true,
+	"bytes.IndexByte":              true,
+	"strings.IndexByte":            true,
+	"strings.HasPrefix":            true,
+	"strings.Compare":              true,
+	"strings.EqualFold":            true,
+}
+
+func externalKey(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		for {
+			p, ok := t.(*types.Pointer)
+			if !ok {
+				break
+			}
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return fmt.Sprintf("%s.(%s).%s", pkg, n.Origin().Obj().Name(), fn.Name())
+		}
+	}
+	return pkg + "." + fn.Name()
+}
+
+// externalAllocates classifies a call into a non-module function.
+func externalAllocates(fn *types.Func) (string, bool) {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	if pkg == "fmt" {
+		return fmt.Sprintf("call into fmt.%s (formats and allocates)", fn.Name()), true
+	}
+	if allocFreePkgs[pkg] || allocFreeFuncs[externalKey(fn)] {
+		return "", false
+	}
+	return fmt.Sprintf("call into unsummarized external function %s.%s", pkg, fn.Name()), true
+}
+
+// scanArgBoxing flags implicit interface conversions of arguments: a
+// non-pointer-shaped concrete value passed to an interface parameter
+// allocates its box. Constants are skipped (small-value interning
+// makes them noise), and calls already flagged for other reasons are
+// not double-reported.
+func scanArgBoxing(call *ast.CallExpr, info *types.Info, add func(token.Pos, string)) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	if call.Ellipsis != token.NoPos {
+		return // s... re-passes an existing slice, no per-arg boxing
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			last := sig.Params().At(sig.Params().Len() - 1).Type()
+			if sl, ok := last.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < sig.Params().Len():
+			pt = sig.Params().At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at := info.Types[arg].Type
+		if at == nil || types.IsInterface(at.Underlying()) || pointerWordShaped(at.Underlying()) || isUntypedNil(at) {
+			continue
+		}
+		if info.Types[arg].Value != nil {
+			continue // constant
+		}
+		add(arg.Pos(), fmt.Sprintf("argument %s boxes into an interface parameter", exprText(arg)))
+	}
+}

@@ -27,13 +27,25 @@ func TestLayerBoundary(t *testing.T) {
 	linttest.Run(t, "testdata/layerboundary", analyzers.LayerBoundary)
 }
 
-// TestRegistry pins the suite: five analyzers, unique names (the
+func TestAllocFree(t *testing.T) {
+	linttest.Run(t, "testdata/allocfree", analyzers.AllocFree)
+}
+
+func TestWireErr(t *testing.T) {
+	linttest.Run(t, "testdata/wireerr", analyzers.WireErr)
+}
+
+func TestGoLeak(t *testing.T) {
+	linttest.Run(t, "testdata/goleak", analyzers.GoLeak)
+}
+
+// TestRegistry pins the suite: eight analyzers, unique names (the
 // names are the //lint:tiv suppression vocabulary and the DESIGN.md
 // invariant table rows).
 func TestRegistry(t *testing.T) {
 	all := analyzers.All()
-	if len(all) != 5 {
-		t.Fatalf("expected 5 analyzers, got %d", len(all))
+	if len(all) != 8 {
+		t.Fatalf("expected 8 analyzers, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {

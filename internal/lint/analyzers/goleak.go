@@ -1,0 +1,423 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"tivaware/internal/lint/analysis"
+	"tivaware/internal/lint/flow"
+)
+
+// GoLeak proves serving-plane goroutines terminate. The paper's
+// deployment model is a TIV monitor running continuously inside the
+// serving path; a goroutine leaked per request or per reconnect is
+// exactly the slow-burn failure that model cannot tolerate, and it
+// never shows up in a short test run.
+var GoLeak = &analysis.Analyzer{
+	Name: "goleak",
+	Doc: `every serving-plane go statement must provably terminate.
+
+For each go statement in internal/tivd, internal/tivshard,
+internal/tivclient, and internal/tivfault (production files only), the
+spawned function and everything it transitively calls must be
+summarized as terminating: every loop either is bounded (a monotone
+induction variable against a bound neither of which the body
+reassigns), ranges over a collection or channel, is a lock-free
+sync/atomic CompareAndSwap retry loop, or contains a channel receive
+(ctx.Done/quit/data channel) alongside a reachable return or break;
+recursion and dynamic calls the callgraph cannot resolve are
+unprovable and flagged. External (stdlib) calls are assumed to return
+— blocking reads bounded by request-context cancellation are beyond
+static proof, so a spawn relying on one carries a //lint:tiv goleak
+suppression stating that reasoning. Interface-dispatch calls are
+assumed to return for the same reason: the callgraph's
+class-hierarchy resolution of a common method name (Close, Read)
+reaches every implementation in the module, and treating those edges
+as real would report spurious recursion through types that never
+meet.
+
+Fix by selecting on ctx.Done()/a close channel in the loop, bounding
+it, or suppressing the spawn site with the termination argument.`,
+	Run: runGoLeak,
+}
+
+// leakScopes are the serving-plane packages (exact package suffix, so
+// internal/tivshard/testcluster — test scaffolding — is out of scope).
+var leakScopes = []string{"internal/tivd", "internal/tivshard", "internal/tivclient", "internal/tivfault"}
+
+// termFact summarizes whether a function provably terminates; when it
+// does not, why and where.
+type termFact struct {
+	ok  bool
+	why string
+	pos token.Pos
+}
+
+func runGoLeak(pass *analysis.Pass) error {
+	g := flow.Of(pass)
+	if g == nil {
+		return nil
+	}
+	inScope := false
+	for _, s := range leakScopes {
+		if analysis.PathHasSuffix(pass.Path, s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	facts := g.Memo("goleak", func() any { return computeTermFacts(g) }).(map[*flow.Func]termFact)
+	for _, f := range g.UnitFuncs(pass.Path) {
+		if f.Test {
+			continue
+		}
+		for _, c := range f.Calls {
+			if !c.Go {
+				continue
+			}
+			switch {
+			case c.Callee != nil:
+				if t := facts[c.Callee]; !t.ok {
+					pass.Reportf(c.Pos(), "goroutine may never terminate: %s %s", c.Callee.Display, t.why)
+				}
+			case c.External != nil:
+				pass.Reportf(c.Pos(), "goroutine spawns external function %s.%s (termination not provable)",
+					c.External.Pkg().Name(), c.External.Name())
+			case c.Dynamic:
+				pass.Reportf(c.Pos(), "goroutine spawns through a function value the callgraph cannot resolve")
+			}
+		}
+	}
+	return nil
+}
+
+// computeTermFacts summarizes termination bottom-up over the SCC
+// order, so callees are always summarized before callers; members of a
+// non-trivial SCC (recursion) are unprovable.
+func computeTermFacts(g *flow.Graph) map[*flow.Func]termFact {
+	facts := map[*flow.Func]termFact{}
+	for _, scc := range termSCCs(g) {
+		if len(scc) > 1 {
+			for _, f := range scc {
+				facts[f] = termFact{why: "is mutually recursive (termination not provable)", pos: f.Pos()}
+			}
+			continue
+		}
+		f := scc[0]
+		facts[f] = summarizeTermination(g, f, facts)
+	}
+	return facts
+}
+
+// termEdge reports whether termination propagates along a call edge:
+// static module calls only. Go edges do not block their spawner, and
+// interface-dispatch edges are assumed to return (see the analyzer
+// doc) — without this, every Close method in the module looks
+// mutually recursive with every other through the shared interface.
+func termEdge(c flow.Call) bool {
+	return c.Callee != nil && !c.Go && !c.Interface && !c.Ref
+}
+
+// termSCCs condenses the callgraph over termination edges (Tarjan,
+// deterministic root order), bottom-up: each SCC is emitted after
+// everything it calls. The flow graph's own SCCs are not reusable
+// here because they include the edges termEdge excludes.
+func termSCCs(g *flow.Graph) [][]*flow.Func {
+	keys := make([]string, 0, len(g.Funcs))
+	for k := range g.Funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	index := map[*flow.Func]int{}
+	low := map[*flow.Func]int{}
+	onStack := map[*flow.Func]bool{}
+	var stack []*flow.Func
+	var out [][]*flow.Func
+	next := 0
+	var connect func(f *flow.Func)
+	connect = func(f *flow.Func) {
+		index[f] = next
+		low[f] = next
+		next++
+		stack = append(stack, f)
+		onStack[f] = true
+		for _, c := range f.Calls {
+			if !termEdge(c) {
+				continue
+			}
+			w := c.Callee
+			if _, seen := index[w]; !seen {
+				connect(w)
+				low[f] = min(low[f], low[w])
+			} else if onStack[w] {
+				low[f] = min(low[f], index[w])
+			}
+		}
+		if low[f] == index[f] {
+			var scc []*flow.Func
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == f {
+					break
+				}
+			}
+			out = append(out, scc)
+		}
+	}
+	for _, k := range keys {
+		if _, seen := index[g.Funcs[k]]; !seen {
+			connect(g.Funcs[k])
+		}
+	}
+	return out
+}
+
+func summarizeTermination(g *flow.Graph, f *flow.Func, facts map[*flow.Func]termFact) termFact {
+	body := f.Body()
+	if body == nil {
+		return termFact{ok: true} // assembly stub: straight-line kernel
+	}
+	// Self-recursion.
+	for _, c := range f.Calls {
+		if termEdge(c) && c.Callee == f {
+			return termFact{why: "is self-recursive (termination not provable)", pos: f.Pos()}
+		}
+	}
+	// Every loop must be compliant.
+	var bad *termFact
+	info := f.Unit.Info
+	flow.WalkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if bad != nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // separate node; its spawns/calls are its own
+		}
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			return true // finite collection, or channel-until-close
+		case *ast.ForStmt:
+			if !loopTerminates(n, info) {
+				pos := g.Fset.Position(n.Pos())
+				bad = &termFact{
+					why: fmt.Sprintf("has a loop at %s:%d with no cancellation receive, break, or bound",
+						shortBase(pos.Filename), pos.Line),
+					pos: n.Pos(),
+				}
+				return false
+			}
+			return true
+		}
+		return true
+	})
+	if bad != nil {
+		return *bad
+	}
+	// Every callee must terminate (go edges excluded: a spawned
+	// goroutine does not block its parent, and its own go statement
+	// gets its own finding when in scope).
+	for _, c := range f.Calls {
+		if !termEdge(c) {
+			// External and interface calls are assumed to return;
+			// dynamic calls in non-looping code cannot leak by
+			// themselves; a spawned goroutine does not block its parent.
+			continue
+		}
+		if t, ok := facts[c.Callee]; ok && !t.ok {
+			return termFact{why: "calls " + c.Callee.Display + ", which " + t.why, pos: c.Pos()}
+		}
+	}
+	return termFact{ok: true}
+}
+
+func shortBase(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '/' {
+			return name[i+1:]
+		}
+	}
+	return name
+}
+
+// loopTerminates reports whether a for loop is provably bounded or
+// cancellable: it has a bounded trip count (any bound — the loop ends
+// — not ctxpoll's latency budget), or its body contains a channel
+// receive (plain statement or select comm case) together with a
+// return or break, so cancellation/close of the channel can exit it.
+func loopTerminates(fs *ast.ForStmt, info *types.Info) bool {
+	if fs.Body == nil {
+		return false
+	}
+	if boundedFor(fs, info) {
+		return true
+	}
+	hasReceive, hasExit := false, false
+	ast.Inspect(fs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			// A nested loop's receives don't make the outer loop
+			// cancellable, and a break inside it exits the inner loop;
+			// the nested loop is checked on its own visit (this is
+			// conservative: a return inside a nested loop is ignored).
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				hasReceive = true
+			}
+		case *ast.CommClause:
+			// select case: a receive case counts; its body's
+			// return/break exits the loop.
+			if n.Comm != nil {
+				hasReceive = true
+			}
+		case *ast.CallExpr:
+			// A lock-free CAS retry loop (for { ...; if CAS { return } })
+			// terminates under the usual progress guarantee: the CAS
+			// fails only because another writer succeeded.
+			if atomicCAS(n, info) {
+				hasReceive = true
+			}
+		case *ast.ReturnStmt:
+			hasExit = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				hasExit = true
+			}
+		}
+		return true
+	})
+	// A terminating condition also counts as an exit: `for !done { <-ch }`.
+	if fs.Cond != nil {
+		hasExit = true
+	}
+	return hasReceive && hasExit
+}
+
+// atomicCAS matches CompareAndSwap calls on sync/atomic types.
+func atomicCAS(call *ast.CallExpr, info *types.Info) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !strings.HasPrefix(sel.Sel.Name, "CompareAndSwap") {
+		return false
+	}
+	m, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && m.Pkg() != nil && m.Pkg().Path() == "sync/atomic"
+}
+
+// boundedFor proves a three-clause loop `for i := lo; i < hi; i++`
+// (or the <=, >, >= variants) terminates: the induction variable
+// moves monotonically toward a stable bound — a constant, a variable,
+// a field, or len/cap of one — and the body reassigns neither the
+// variable nor the bound. This covers the shard-fanout idiom
+// `for s := 0; s < g.k; s++` without trusting arbitrary conditions.
+func boundedFor(fs *ast.ForStmt, info *types.Info) bool {
+	post, ok := fs.Post.(*ast.IncDecStmt)
+	if !ok {
+		return false
+	}
+	iv, ok := ast.Unparen(post.X).(*ast.Ident)
+	if !ok || info.ObjectOf(iv) == nil {
+		return false
+	}
+	cond, ok := fs.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	lhs, ok := ast.Unparen(cond.X).(*ast.Ident)
+	if !ok || info.ObjectOf(lhs) != info.ObjectOf(iv) {
+		return false
+	}
+	switch cond.Op {
+	case token.LSS, token.LEQ:
+		if post.Tok != token.INC {
+			return false
+		}
+	case token.GTR, token.GEQ:
+		if post.Tok != token.DEC {
+			return false
+		}
+	default:
+		return false
+	}
+	if !stableBound(cond.Y, info) {
+		return false
+	}
+	// Collect the objects the proof depends on: the induction variable
+	// and every variable the bound reads.
+	pinned := map[types.Object]bool{info.ObjectOf(iv): true}
+	ast.Inspect(cond.Y, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := info.ObjectOf(id).(*types.Var); ok {
+				pinned[v] = true
+			}
+		}
+		return true
+	})
+	// Any write (or address-take) of a pinned object in the body —
+	// including inside closures — voids the proof.
+	mutated := false
+	ast.Inspect(fs.Body, func(n ast.Node) bool {
+		touch := func(e ast.Expr) {
+			ast.Inspect(e, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pinned[info.ObjectOf(id)] {
+					mutated = true
+				}
+				return !mutated
+			})
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				touch(l)
+			}
+		case *ast.IncDecStmt:
+			touch(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				touch(n.X)
+			}
+		}
+		return !mutated
+	})
+	return !mutated
+}
+
+// stableBound accepts bound expressions whose value cannot change
+// while the loop runs (given boundedFor's no-reassignment check):
+// constants, plain variables, field selections, and len/cap of one.
+func stableBound(e ast.Expr, info *types.Info) bool {
+	e = ast.Unparen(e)
+	if tv := info.Types[e]; tv.Value != nil {
+		return true
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		_, ok := info.ObjectOf(e).(*types.Var)
+		return ok
+	case *ast.SelectorExpr:
+		switch x := ast.Unparen(e.X).(type) {
+		case *ast.Ident:
+			_, ok := info.ObjectOf(x).(*types.Var)
+			return ok
+		case *ast.SelectorExpr:
+			return stableBound(x, info)
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && len(e.Args) == 1 {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && (b.Name() == "len" || b.Name() == "cap") {
+				return stableBound(e.Args[0], info)
+			}
+		}
+	}
+	return false
+}

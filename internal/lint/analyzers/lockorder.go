@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"tivaware/internal/lint/analysis"
+	"tivaware/internal/lint/flow"
 )
 
 // lockOrders declares the established lock hierarchy per package
@@ -87,7 +88,7 @@ func runLockOrder(pass *analysis.Pass) error {
 					if name, kind := lockCall(pass, call, rank); kind == lockAcquire {
 						fi.acquires[name] = true
 					} else if kind == lockNone {
-						if callee := staticCallee(pass, call); callee != nil && callee.Pkg() == pass.Pkg {
+						if callee := flow.StaticCallee(pass.Info, call); callee != nil && callee.Pkg() == pass.Pkg {
 							fi.calls[callee] = true
 						}
 					}
@@ -210,24 +211,6 @@ func mutexName(e ast.Expr) string {
 			return ""
 		}
 	}
-}
-
-// staticCallee resolves a call to a declared function or method.
-func staticCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		fn, _ := pass.Info.Uses[fun].(*types.Func)
-		return fn
-	case *ast.SelectorExpr:
-		fn, _ := pass.Info.Uses[fun.Sel].(*types.Func)
-		return fn
-	case *ast.IndexExpr: // generic instantiation f[T](...)
-		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
-			fn, _ := pass.Info.Uses[id].(*types.Func)
-			return fn
-		}
-	}
-	return nil
 }
 
 // exprObject resolves a plain identifier to its object.
@@ -385,7 +368,7 @@ func (w *lockWalker) handleCall(call *ast.CallExpr, held *[]heldLock) {
 			}
 		}
 	default:
-		callee := staticCallee(w.pass, call)
+		callee := flow.StaticCallee(w.pass.Info, call)
 		if callee == nil || callee.Pkg() != w.pass.Pkg || len(*held) == 0 {
 			return
 		}

@@ -12,5 +12,8 @@ func All() []*analysis.Analyzer {
 		CtxPoll,
 		WireParity,
 		LayerBoundary,
+		AllocFree,
+		WireErr,
+		GoLeak,
 	}
 }

@@ -1,0 +1,128 @@
+// Fixture for the allocfree analyzer: //tiv:hotpath roots must be
+// transitively allocation-free, with the sanctioned exemptions
+// (self-append, lazy init, error branches, //tiv:coldpath callees) and
+// reference edges for codec-table function arguments.
+package tivwire
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+type msg struct {
+	b []byte
+	s []string
+}
+
+//tiv:hotpath encode fast path
+func Encode(dst []byte, m *msg) []byte {
+	dst = append(dst, 1, 2) // self-append: amortized, exempt
+	buf := make([]byte, 8)  // want "hot path allocates: make"
+	copy(dst, buf)
+	return dst
+}
+
+//tiv:hotpath decode fast path
+func Decode(m *msg) {
+	helper(m)
+}
+
+func helper(m *msg) {
+	m.s = append(m.s, "x") // self-append: exempt
+	c := new(msg)          // want "hot path allocates: new.*reachable from"
+	_ = c
+}
+
+//tiv:coldpath error latch allocates once per malformed frame
+func coldLatch() error {
+	return fmt.Errorf("boom")
+}
+
+//tiv:coldpath diagnostic formatting off the steady path
+func coldArgs(args ...any) {
+	_ = fmt.Sprint(args...)
+}
+
+//tiv:hotpath cold callees and their argument boxing are exempt
+func Guarded(n int) error {
+	if n < 0 {
+		coldArgs(n) // boxing into a cold callee's parameter: exempt
+		return coldLatch()
+	}
+	return nil
+}
+
+func sink(v any) { _ = v }
+
+//tiv:hotpath implicit interface boxing is an allocation
+func Boxes(n int) {
+	sink(n) // want "argument n boxes into an interface parameter"
+}
+
+//tiv:hotpath string comparison conversions are free
+func Cmp(b []byte, s string) bool {
+	return string(b) == s
+}
+
+//tiv:hotpath materialized string conversions copy
+func Conv(b []byte) string {
+	return string(b) // want "string conversion copies the slice"
+}
+
+//tiv:hotpath terminal error branches may allocate their diagnostics
+func Checked(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative %d", n) // error branch: exempt
+	}
+	return nil
+}
+
+type pool struct{ buf []byte }
+
+//tiv:hotpath one-time lazy init guarded by the target is exempt
+func (p *pool) get() []byte {
+	if p.buf == nil {
+		p.buf = make([]byte, 0, 64) // lazy init: exempt
+	}
+	return p.buf[:0]
+}
+
+type w struct{ b []byte }
+
+func apply(x *w, fn func(*w)) {
+	//lint:tiv allocfree fn is always one of the named codecs below, each scanned hot via its reference edge
+	fn(x) // suppressed "dynamic call through a function value"
+}
+
+func encA(x *w) { x.b = append(x.b, 1) }
+
+func encB(x *w) {
+	x.b = []byte{1} // want "hot path allocates: slice literal.*reachable from"
+}
+
+//tiv:hotpath functions passed as codec-table arguments stay hot
+func Table(x *w) {
+	apply(x, encA)
+	apply(x, encB)
+}
+
+//tiv:hotpath spawning is itself an allocation; the spawned body is not scanned
+func Spawn() {
+	go bg() // want "hot path allocates: goroutine spawn"
+}
+
+func bg() {
+	x := make([]int, 1) // only reachable through a go edge: not scanned hot
+	_ = x
+}
+
+//tiv:hotpath allowlisted externals are allocation-free
+func External(s string) int {
+	return strings.IndexByte(s, 'x')
+}
+
+//tiv:hotpath unsummarized externals are assumed to allocate
+func Unsummarized() string {
+	return os.Getenv("X") // want "call into unsummarized external function os.Getenv"
+}

@@ -1,0 +1,63 @@
+// Fixture for the goleak analyzer: every serving-plane go statement
+// must spawn a provably terminating function.
+package tivd
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+)
+
+func spin() {
+	for {
+	}
+}
+
+func outer() {
+	spin()
+}
+
+func pingPong() { pong() }
+
+func pong() { pingPong() }
+
+func worker(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func count(n int) {
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+}
+
+func casLoop(v *atomic.Int64) {
+	for {
+		old := v.Load()
+		if v.CompareAndSwap(old, old+1) {
+			return
+		}
+	}
+}
+
+func Serve(ctx context.Context, fn func(), v *atomic.Int64) {
+	go spin()     // want "goroutine may never terminate: tivd.spin has a loop at .* with no cancellation receive, break, or bound"
+	go outer()    // want "goroutine may never terminate: tivd.outer calls tivd.spin, which has a loop at"
+	go pingPong() // want "goroutine may never terminate: tivd.pingPong is mutually recursive"
+	go worker(ctx)
+	go count(10)
+	go casLoop(v)
+	go fn()              // want "goroutine spawns through a function value the callgraph cannot resolve"
+	go runtime.Gosched() // want "goroutine spawns external function runtime.Gosched"
+	go func() {          // want "goroutine may never terminate: .* has a loop at"
+		for {
+		}
+	}()
+	//lint:tiv goleak the scan loop exits when the transport closes the stream
+	go spin() // suppressed "goroutine may never terminate"
+}

@@ -1,0 +1,12 @@
+// Package tiv sits below the wire boundary: its plain errors are the
+// serving plane's to classify, so wireerr never reports here.
+package tiv
+
+import "fmt"
+
+func Compute(n int) (int, error) {
+	if n == 0 {
+		return 0, fmt.Errorf("empty selection") // below the boundary: not reported
+	}
+	return n, nil
+}

@@ -1,0 +1,36 @@
+// Fixture for the wireerr analyzer's client-surface roots: exported
+// error-returning declarations of internal/tivclient.
+package tivclient
+
+import (
+	"errors"
+	"os"
+)
+
+// Error is the client's typed taxonomy.
+type Error struct{ Code string }
+
+func (e *Error) Error() string    { return e.Code }
+func (e *Error) WireCode() string { return e.Code }
+
+// Client is the exported API surface.
+type Client struct{ path string }
+
+// Ping is an exported method: its errors reach callers raw.
+func (c *Client) Ping() error {
+	return errors.New("no transport configured") // want "errors.New"
+}
+
+// Fetch is an exported function on the client surface.
+func Fetch(path string) error {
+	if path == "" {
+		return &Error{Code: "bad_request"} // typed: clean
+	}
+	_, err := os.ReadFile(path) // want "raw error from os.ReadFile escapes without a typed wrapper"
+	return err
+}
+
+// probe is unexported and unreachable from the surface: not a root.
+func probe() error {
+	return errors.New("internal probe")
+}

@@ -1,0 +1,79 @@
+// Fixture for the wireerr analyzer: errors reaching the tivd.Backend
+// surface or the response-envelope sinks must carry a WireCode.
+package tivd
+
+import (
+	"errors"
+	"fmt"
+
+	"fixture/internal/tiv"
+)
+
+// Backend mirrors the production query surface.
+type Backend interface {
+	Rank(q string) (int, error)
+	Close() error
+}
+
+type wireError struct{ code, msg string }
+
+func (e *wireError) Error() string    { return e.msg }
+func (e *wireError) WireCode() string { return e.code }
+
+func badRequestf(format string, args ...any) error {
+	return &wireError{code: "bad_request", msg: fmt.Sprintf(format, args...)}
+}
+
+type backend struct{ limit int }
+
+func (b *backend) Rank(q string) (int, error) {
+	if q == "" {
+		return 0, badRequestf("empty query") // typed constructor: clean
+	}
+	if q == "wrap" {
+		return 0, fmt.Errorf("rejected %q: %w", q, badRequestf("wrapped cause")) // wraps a typed cause: clean
+	}
+	if q == "legacy" {
+		return 0, legacy()
+	}
+	if len(q) > b.limit {
+		return 0, fmt.Errorf("query too long: %d bytes", len(q)) // want "bare fmt.Errorf"
+	}
+	return b.scan(q)
+}
+
+func (b *backend) Close() error { return nil }
+
+func (b *backend) scan(q string) (int, error) {
+	n, err := decode(q)
+	if err != nil {
+		return 0, err
+	}
+	return tiv.Compute(n)
+}
+
+func decode(q string) (int, error) {
+	if q[0] == '#' {
+		return 0, errors.New("comment query") // want "errors.New.*flows via"
+	}
+	return len(q), nil
+}
+
+func legacy() error {
+	//lint:tiv wireerr inherited from the v0 probe protocol; tracked by the baseline migration
+	return errors.New("legacy probe format") // suppressed "errors.New"
+}
+
+func serviceError(code int, err error) {
+	_ = code
+	_ = err
+}
+
+func handle(q string) {
+	if q == "" {
+		serviceError(400, errors.New("empty query")) // want "errors.New passed directly to a tivd response envelope"
+	}
+	if q == "#" {
+		serviceError(400, badRequestf("comment query")) // typed constructor: clean
+	}
+}

@@ -1,0 +1,153 @@
+// The ratcheting baseline: tivlint.baseline.json records accepted
+// pre-existing findings so the suite can turn on a new analyzer over a
+// tree with known debt without a flag day. Entries are keyed by the
+// finding's structural hash (see keyer), never by line numbers, so
+// unrelated edits don't invalidate them. The contract is a one-way
+// ratchet: CI fails on findings not in the baseline, and -baseline-prune
+// deletes entries that no longer fire, so the debt count is
+// monotonically non-increasing.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline is the persisted set of accepted findings.
+type Baseline struct {
+	Version int             `json:"version"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry accepts one finding. Analyzer and Package are
+// redundant with the hash inputs but kept explicit so the file is
+// reviewable and greppable; Message is a snapshot for the reader and
+// does not participate in matching.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	Package  string `json:"package"`
+	Key      string `json:"key"`
+	Message  string `json:"message"`
+}
+
+// BaselineVersion is the current file format version.
+const BaselineVersion = 1
+
+// LoadBaseline reads a baseline file; a missing file is an empty
+// baseline, not an error, so fresh checkouts and fixtures need no
+// stub file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: BaselineVersion}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	if b.Version != BaselineVersion {
+		return nil, fmt.Errorf("lint: baseline %s: unsupported version %d", path, b.Version)
+	}
+	return &b, nil
+}
+
+// Apply marks every finding matched by a baseline entry as Baselined
+// and returns the stale entries — accepted debt that no longer fires.
+// Matching is by (analyzer, package, key); suppressed findings are
+// never consumed by the baseline (the in-source directive already
+// accounts for them, and letting them consume entries would mask a
+// stale entry behind a suppression).
+func (b *Baseline) Apply(res *Result) (stale []BaselineEntry) {
+	if b == nil {
+		return nil
+	}
+	matched := make([]bool, len(b.Entries))
+	index := map[BaselineEntry]int{}
+	for i, e := range b.Entries {
+		e.Message = ""
+		index[e] = i
+	}
+	for i := range res.Findings {
+		f := &res.Findings[i]
+		if f.Suppressed {
+			continue
+		}
+		probe := BaselineEntry{Analyzer: f.Analyzer, Package: f.Package, Key: f.Key}
+		if j, ok := index[probe]; ok {
+			f.Baselined = true
+			matched[j] = true
+		}
+	}
+	for i, e := range b.Entries {
+		if !matched[i] {
+			stale = append(stale, e)
+		}
+	}
+	return stale
+}
+
+// BaselineFrom builds a baseline accepting every finding that would
+// currently fail the run (active findings; suppressed ones stay on
+// their in-source directives).
+func BaselineFrom(res *Result) *Baseline {
+	b := &Baseline{Version: BaselineVersion}
+	for _, f := range res.Findings {
+		if f.Suppressed {
+			continue
+		}
+		b.Entries = append(b.Entries, BaselineEntry{
+			Analyzer: f.Analyzer,
+			Package:  f.Package,
+			Key:      f.Key,
+			Message:  f.Message,
+		})
+	}
+	b.sort()
+	return b
+}
+
+// Prune removes the given stale entries, keeping the ratchet
+// monotonic.
+func (b *Baseline) Prune(stale []BaselineEntry) {
+	dead := map[string]bool{}
+	for _, e := range stale {
+		dead[e.Analyzer+"\x00"+e.Package+"\x00"+e.Key] = true
+	}
+	kept := b.Entries[:0]
+	for _, e := range b.Entries {
+		if !dead[e.Analyzer+"\x00"+e.Package+"\x00"+e.Key] {
+			kept = append(kept, e)
+		}
+	}
+	b.Entries = kept
+	b.sort()
+}
+
+func (b *Baseline) sort() {
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		if a.Package != c.Package {
+			return a.Package < c.Package
+		}
+		return a.Key < c.Key
+	})
+}
+
+// Write persists the baseline with stable formatting (sorted entries,
+// indented JSON, trailing newline) so diffs review cleanly.
+func (b *Baseline) Write(path string) error {
+	b.sort()
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,150 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tivaware/internal/lint"
+	"tivaware/internal/lint/analyzers"
+)
+
+// writeModule materializes a one-package fixture module in dir.
+func writeModule(t *testing.T, dir, source string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Join(dir, "internal", "tivclient"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fixture\n\ngo 1.21\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "internal", "tivclient", "client.go"), []byte(source), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runWireErr(t *testing.T, dir string) []lint.Finding {
+	t.Helper()
+	res, err := lint.Run(dir, nil, []*lint.Analyzer{analyzers.WireErr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Findings
+}
+
+const baseSource = `package tivclient
+
+import "errors"
+
+func Ping() error {
+	return errors.New("no transport")
+}
+`
+
+// TestBaselineKeyStableUnderLineInsertion pins the ratchet's core
+// property: a finding's structural key survives edits elsewhere in the
+// file — inserted lines, new declarations — and changes only when the
+// flagged line itself changes. Line numbers must move while keys hold.
+func TestBaselineKeyStableUnderLineInsertion(t *testing.T) {
+	dir := t.TempDir()
+	writeModule(t, dir, baseSource)
+	before := runWireErr(t, dir)
+	if len(before) != 1 {
+		t.Fatalf("want 1 finding from the base module, have %v", before)
+	}
+
+	cases := []struct {
+		name   string
+		source string
+		moved  bool // the flagged line's number should have changed
+		rekey  bool // the finding's key should have changed
+	}{
+		{
+			name: "lines inserted above",
+			source: `package tivclient
+
+import "errors"
+
+// Padding pushes every following declaration down.
+type Padding struct {
+	A int
+	B int
+}
+
+func Ping() error {
+	return errors.New("no transport")
+}
+`,
+			moved: true,
+		},
+		{
+			name: "flagged line edited",
+			source: `package tivclient
+
+import "errors"
+
+func Ping() error {
+	return errors.New("transport is not configured")
+}
+`,
+			rekey: true,
+		},
+		{
+			name: "reindented only",
+			source: `package tivclient
+
+import "errors"
+
+func Ping() error {
+		return errors.New("no transport")
+}
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			writeModule(t, dir, tc.source)
+			after := runWireErr(t, dir)
+			if len(after) != 1 {
+				t.Fatalf("want 1 finding, have %v", after)
+			}
+			if moved := after[0].Line != before[0].Line; moved != tc.moved {
+				t.Errorf("line moved=%v (line %d → %d), want moved=%v", moved, before[0].Line, after[0].Line, tc.moved)
+			}
+			if rekeyed := after[0].Key != before[0].Key; rekeyed != tc.rekey {
+				t.Errorf("key changed=%v (%s → %s), want changed=%v", rekeyed, before[0].Key, after[0].Key, tc.rekey)
+			}
+			// The ratchet behavior itself: a baseline written before the
+			// edit still accepts the finding exactly when the key held.
+			bl := &lint.Baseline{Version: lint.BaselineVersion, Entries: []lint.BaselineEntry{{
+				Analyzer: before[0].Analyzer,
+				Package:  before[0].Package,
+				Key:      before[0].Key,
+			}}}
+			res := &lint.Result{Findings: after}
+			stale := bl.Apply(res)
+			if accepted := len(res.Active()) == 0; accepted == tc.rekey {
+				t.Errorf("baseline accepted=%v, want accepted=%v (stale=%v)", accepted, !tc.rekey, stale)
+			}
+		})
+	}
+}
+
+// TestBaselinePruneMonotonic pins the one-way ratchet: pruning stale
+// entries only ever shrinks the baseline.
+func TestBaselinePruneMonotonic(t *testing.T) {
+	bl := &lint.Baseline{Version: lint.BaselineVersion, Entries: []lint.BaselineEntry{
+		{Analyzer: "wireerr", Package: "p", Key: "aaaa"},
+		{Analyzer: "wireerr", Package: "p", Key: "bbbb"},
+	}}
+	res := &lint.Result{Findings: []lint.Finding{{Analyzer: "wireerr", Package: "p", Key: "bbbb"}}}
+	stale := bl.Apply(res)
+	if len(stale) != 1 || stale[0].Key != "aaaa" {
+		t.Fatalf("want exactly entry aaaa stale, have %v", stale)
+	}
+	bl.Prune(stale)
+	if len(bl.Entries) != 1 || bl.Entries[0].Key != "bbbb" {
+		t.Fatalf("prune should keep only the live entry, have %v", bl.Entries)
+	}
+}

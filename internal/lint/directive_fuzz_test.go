@@ -1,0 +1,47 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"tivaware/internal/lint"
+)
+
+// FuzzParseDirective hammers the suppression-directive parser with
+// malformed, truncated, CRLF-ridden, and non-ASCII comment text. The
+// invariants: never panic; ok implies a non-empty analyzer and
+// justification and the exact prefix; a justification-free directive
+// is always inert.
+func FuzzParseDirective(f *testing.F) {
+	f.Add("//lint:tiv wireerr inherited from the v0 protocol")
+	f.Add("//lint:tiv goleak")
+	f.Add("//lint:tiv")
+	f.Add("//lint:tiv\twireerr\ttabbed reason")
+	f.Add("// lint:tiv wireerr spaced prefix is not a directive")
+	f.Add("//lint:tivwireerr glued")
+	f.Add("//lint:tiv wireerr reason with \r\n embedded CRLF")
+	f.Add("//lint:tiv аллокфри кириллица justification")
+	f.Add("//lint:tiv allocfree \x00 NUL bytes")
+	f.Add("//lint:tiv  allocfree   many   spaces  ")
+	f.Fuzz(func(t *testing.T, text string) {
+		analyzer, justification, ok := lint.ParseDirective(text)
+		if !ok {
+			if analyzer != "" || justification != "" {
+				t.Fatalf("not-ok parse leaked values: %q %q", analyzer, justification)
+			}
+			return
+		}
+		if !strings.HasPrefix(text, lint.DirectivePrefix) {
+			t.Fatalf("ok parse of %q without the %q prefix", text, lint.DirectivePrefix)
+		}
+		if analyzer == "" {
+			t.Fatalf("ok parse of %q with empty analyzer", text)
+		}
+		if strings.TrimSpace(justification) == "" {
+			t.Fatalf("ok parse of %q with blank justification — the reason is the point", text)
+		}
+		if strings.ContainsAny(analyzer, " \t\r\n") {
+			t.Fatalf("analyzer %q contains whitespace", analyzer)
+		}
+	})
+}

@@ -1,0 +1,44 @@
+package flow_test
+
+import (
+	"strings"
+	"testing"
+
+	"tivaware/internal/lint/flow"
+)
+
+// FuzzParseAnnotation hammers the //tiv: annotation parser with
+// malformed, truncated, CRLF-ridden, and non-ASCII comment text. The
+// invariants: never panic; ok implies a recognized kind hugging the
+// colon and a whitespace-normalized note.
+func FuzzParseAnnotation(f *testing.F) {
+	f.Add("//tiv:hotpath steady-state encode")
+	f.Add("//tiv:hotpath")
+	f.Add("//tiv:coldpath grows reused capacity once")
+	f.Add("//tiv:coldpath")
+	f.Add("//tiv: hotpath spaced kind is prose")
+	f.Add("// tiv:hotpath spaced prefix is prose")
+	f.Add("//tiv:hotpath\ttabbed\tnote")
+	f.Add("//tiv:warmpath unrecognized kind")
+	f.Add("//tiv:hotpath note with \r\n embedded CRLF")
+	f.Add("//tiv:hotpath заметка не в ASCII")
+	f.Add("//tiv:coldpath \x00 NUL bytes")
+	f.Fuzz(func(t *testing.T, text string) {
+		kind, note, ok := flow.ParseAnnotation(text)
+		if !ok {
+			if kind != "" || note != "" {
+				t.Fatalf("not-ok parse leaked values: %q %q", kind, note)
+			}
+			return
+		}
+		if kind != flow.AnnotationHot && kind != flow.AnnotationCold {
+			t.Fatalf("ok parse of %q with unrecognized kind %q", text, kind)
+		}
+		if !strings.HasPrefix(text, flow.AnnotationPrefix+kind) {
+			t.Fatalf("ok parse of %q: kind %q does not hug the colon", text, kind)
+		}
+		if note != strings.Join(strings.Fields(note), " ") {
+			t.Fatalf("note %q is not whitespace-normalized", note)
+		}
+	})
+}

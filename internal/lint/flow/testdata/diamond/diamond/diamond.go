@@ -1,0 +1,34 @@
+// Diamond callgraph fixture: Top reaches base along two paths (left
+// via a closure argument, right directly), plus a named function
+// passed as an argument (a Ref edge, the codec-table idiom).
+package diamond
+
+func Top(xs []int) int {
+	total := 0
+	each(xs, func(x int) {
+		total += left(x)
+	})
+	return total + right(len(xs))
+}
+
+func Tabled(xs []int) {
+	each2(xs, handler)
+}
+
+func handler(x int) { _ = x * 2 }
+
+func left(x int) int  { return base(x) }
+func right(x int) int { return base(x) }
+func base(x int) int  { return x * x }
+
+func each(xs []int, fn func(int)) {
+	for _, x := range xs {
+		fn(x)
+	}
+}
+
+func each2(xs []int, fn func(int)) {
+	for _, x := range xs {
+		fn(x)
+	}
+}

@@ -8,12 +8,18 @@
 package lint
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 
 	"tivaware/internal/lint/analysis"
+	"tivaware/internal/lint/flow"
 	"tivaware/internal/lint/load"
 )
 
@@ -25,17 +31,31 @@ type Analyzer = analysis.Analyzer
 // directives in its file.
 type Finding struct {
 	Analyzer string `json:"analyzer"`
+	// Package is the import path of the analysis unit that produced
+	// the finding.
+	Package string `json:"package"`
 	// File is the path relative to the module root (slash-separated).
 	File    string `json:"file"`
 	Line    int    `json:"line"`
 	Col     int    `json:"col"`
 	Message string `json:"message"`
+	// Key is the finding's structural identity for the ratcheting
+	// baseline: a hash over the analyzer, unit, enclosing top-level
+	// declaration, and the whitespace-normalized source text of the
+	// flagged line (plus a same-line occurrence counter). Line numbers
+	// deliberately do not participate, so edits elsewhere in the file
+	// never invalidate a baseline entry.
+	Key string `json:"key"`
 	// Suppressed marks findings silenced by a //lint:tiv directive;
 	// Justification carries the directive's stated reason. Suppressed
 	// findings do not fail the run but are reported in -json output,
 	// so every silenced invariant stays reviewable.
 	Suppressed    bool   `json:"suppressed,omitempty"`
 	Justification string `json:"justification,omitempty"`
+	// Baselined marks findings matched by an entry in the accepted
+	// baseline (tivlint.baseline.json): pre-existing debt that does
+	// not fail the run but may never grow.
+	Baselined bool `json:"baselined,omitempty"`
 }
 
 func (f Finding) String() string {
@@ -49,11 +69,12 @@ type Result struct {
 	Warnings []string  `json:"warnings,omitempty"`
 }
 
-// Active returns the findings that fail the run.
+// Active returns the findings that fail the run: neither suppressed
+// in source nor accepted by the baseline.
 func (r *Result) Active() []Finding {
 	var out []Finding
 	for _, f := range r.Findings {
-		if !f.Suppressed {
+		if !f.Suppressed && !f.Baselined {
 			out = append(out, f)
 		}
 	}
@@ -61,7 +82,11 @@ func (r *Result) Active() []Finding {
 }
 
 // Run loads the packages matching patterns under the module rooted at
-// root and applies the analyzers.
+// root and applies the analyzers. Before the per-unit passes it closes
+// the loaded set over module-internal imports and builds the
+// interprocedural flow graph, so callgraph-walking analyzers see the
+// bodies of callee packages even on a partial-pattern run (findings
+// are still only reported for the requested packages).
 func Run(root string, patterns []string, analyzers []*analysis.Analyzer) (*Result, error) {
 	l, err := load.New(root)
 	if err != nil {
@@ -71,9 +96,14 @@ func Run(root string, patterns []string, analyzers []*analysis.Analyzer) (*Resul
 	if err != nil {
 		return nil, err
 	}
+	extra, err := l.LoadImports(pkgs)
+	if err != nil {
+		return nil, err
+	}
+	g := flow.Build(append(append([]*load.Package{}, pkgs...), extra...))
 	res := &Result{Warnings: l.Warnings}
 	for _, pkg := range pkgs {
-		fs, err := RunPackage(l.Root, pkg, analyzers)
+		fs, err := RunPackage(l.Root, pkg, g, analyzers)
 		if err != nil {
 			return nil, err
 		}
@@ -99,9 +129,12 @@ func Run(root string, patterns []string, analyzers []*analysis.Analyzer) (*Resul
 }
 
 // RunPackage applies the analyzers to one loaded unit, resolving
-// suppressions. root anchors the relative file paths in findings.
-func RunPackage(root string, pkg *load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+// suppressions and computing each finding's structural baseline key.
+// root anchors the relative file paths in findings; g may be nil for
+// runs without the interprocedural layer.
+func RunPackage(root string, pkg *load.Package, g *flow.Graph, analyzers []*analysis.Analyzer) ([]Finding, error) {
 	supp := collectSuppressions(pkg)
+	keyer := newKeyer(pkg)
 	var out []Finding
 	for _, a := range analyzers {
 		var diags []analysis.Diagnostic
@@ -113,7 +146,11 @@ func RunPackage(root string, pkg *load.Package, analyzers []*analysis.Analyzer) 
 			Info:     pkg.Info,
 			Path:     pkg.Path,
 			TestFile: pkg.IsTestFile,
+			Flow:     nil,
 			Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if g != nil {
+			pass.Flow = g
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
@@ -126,10 +163,12 @@ func RunPackage(root string, pkg *load.Package, analyzers []*analysis.Analyzer) 
 			}
 			f := Finding{
 				Analyzer: a.Name,
+				Package:  pkg.Path,
 				File:     filepath.ToSlash(rel),
 				Line:     pos.Line,
 				Col:      pos.Column,
 				Message:  d.Message,
+				Key:      keyer.key(a.Name, d.Pos),
 			}
 			if j, ok := supp.lookup(pos.Filename, pos.Line, a.Name); ok {
 				f.Suppressed = true
@@ -139,6 +178,75 @@ func RunPackage(root string, pkg *load.Package, analyzers []*analysis.Analyzer) 
 		}
 	}
 	return out, nil
+}
+
+// keyer computes structural finding keys for one unit: a truncated
+// SHA-256 over (analyzer, unit path, enclosing top-level declaration
+// name, whitespace-normalized flagged-line text, occurrence counter).
+// The inputs deliberately exclude line numbers, so inserting or
+// deleting lines elsewhere never invalidates a baseline entry; editing
+// the flagged line itself does, which is the desired ratchet behavior
+// (a changed line is a new claim to review).
+type keyer struct {
+	pkg   *load.Package
+	lines map[string][]string // filename → content lines
+	seen  map[string]int      // structural identity → occurrences so far
+}
+
+func newKeyer(pkg *load.Package) *keyer {
+	return &keyer{pkg: pkg, lines: map[string][]string{}, seen: map[string]int{}}
+}
+
+func (k *keyer) key(analyzer string, pos token.Pos) string {
+	p := k.pkg.Fset.Position(pos)
+	lines, ok := k.lines[p.Filename]
+	if !ok {
+		data, err := os.ReadFile(p.Filename)
+		if err == nil {
+			lines = strings.Split(string(data), "\n")
+		}
+		k.lines[p.Filename] = lines
+	}
+	text := ""
+	if p.Line-1 >= 0 && p.Line-1 < len(lines) {
+		text = strings.Join(strings.Fields(lines[p.Line-1]), " ")
+	}
+	ident := analyzer + "\x00" + k.pkg.Path + "\x00" + k.declName(p.Filename, pos) + "\x00" + text
+	n := k.seen[ident]
+	k.seen[ident] = n + 1
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s\x00%d", ident, n)))
+	return hex.EncodeToString(sum[:8])
+}
+
+// declName finds the top-level declaration enclosing pos in the unit's
+// files ("" when pos sits between declarations).
+func (k *keyer) declName(filename string, pos token.Pos) string {
+	for _, f := range k.pkg.Files {
+		if k.pkg.Fset.Position(f.Pos()).Filename != filename {
+			continue
+		}
+		for _, d := range f.Decls {
+			if pos < d.Pos() || pos > d.End() {
+				continue
+			}
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				return d.Name.Name
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						return s.Name.Name
+					case *ast.ValueSpec:
+						if len(s.Names) > 0 {
+							return s.Names[0].Name
+						}
+					}
+				}
+			}
+		}
+	}
+	return ""
 }
 
 // suppressionKey addresses one directive: the analyzer it silences at
@@ -167,22 +275,34 @@ func (s suppressions) lookup(file string, line int, analyzer string) (string, bo
 // justification suppresses nothing — the reason is the point.
 const DirectivePrefix = "//lint:tiv"
 
+// ParseDirective parses one comment line as a suppression directive.
+// ok reports a well-formed directive: the exact prefix followed by
+// whitespace, an analyzer name, and a non-empty justification. A
+// directive missing its justification is inert — the stated reason is
+// the point — and parses as not-ok.
+func ParseDirective(text string) (analyzer, justification string, ok bool) {
+	rest, found := strings.CutPrefix(text, DirectivePrefix)
+	if !found || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return "", "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return "", "", false
+	}
+	return fields[0], strings.Join(fields[1:], " "), true
+}
+
 func collectSuppressions(pkg *load.Package) suppressions {
 	out := suppressions{}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, DirectivePrefix)
-				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+				analyzer, justification, ok := ParseDirective(c.Text)
+				if !ok {
 					continue
 				}
-				fields := strings.Fields(rest)
-				if len(fields) < 2 {
-					continue // no analyzer or no justification: inert
-				}
 				pos := pkg.Fset.Position(c.Pos())
-				key := suppressionKey{pos.Filename, pos.Line, fields[0]}
-				out[key] = strings.Join(fields[1:], " ")
+				out[suppressionKey{pos.Filename, pos.Line, analyzer}] = justification
 			}
 		}
 	}

@@ -1,0 +1,120 @@
+// Minimal SARIF 2.1.0 serialization of a lint run, for code-scanning
+// UIs. Active findings are errors; baselined and suppressed findings
+// are included with SARIF suppression records so the full picture
+// survives in the artifact without failing the scan.
+package lint
+
+import (
+	"encoding/json"
+	"strings"
+
+	"tivaware/internal/lint/analysis"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	Level        string             `json:"level"`
+	Message      sarifText          `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// SARIF renders the run as a SARIF 2.1.0 document. analyzers supplies
+// the rule metadata (every analyzer that ran, fired or not).
+func SARIF(res *Result, analyzers []*analysis.Analyzer) ([]byte, error) {
+	run := sarifRun{
+		Tool:    sarifTool{Driver: sarifDriver{Name: "tivlint"}},
+		Results: []sarifResult{},
+	}
+	for _, a := range analyzers {
+		summary, _, _ := strings.Cut(a.Doc, "\n")
+		run.Tool.Driver.Rules = append(run.Tool.Driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifText{Text: summary},
+		})
+	}
+	for _, f := range res.Findings {
+		r := sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifText{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: f.File},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		}
+		switch {
+		case f.Suppressed:
+			r.Level = "note"
+			r.Suppressions = []sarifSuppression{{Kind: "inSource", Justification: f.Justification}}
+		case f.Baselined:
+			r.Level = "note"
+			r.Suppressions = []sarifSuppression{{Kind: "external", Justification: "accepted in tivlint.baseline.json"}}
+		}
+		run.Results = append(run.Results, r)
+	}
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	}
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

@@ -171,14 +171,31 @@ var scratchPool = sync.Pool{
 // request is sent.
 func (c *Client) encodeBody(scratch []byte, body any) ([]byte, string, error) {
 	if c.binary {
-		raw, err := tivwire.AppendBinary(scratch[:0], body)
+		raw, err := appendBinaryBody(scratch, body)
 		return raw, tivwire.BinaryContentType, err
 	}
+	raw, err := appendJSONBody(scratch, body)
+	return raw, "application/json", err
+}
+
+// appendBinaryBody is the steady-state encode arm: one frame appended
+// into the recycled scratch buffer, no allocation once the buffer has
+// grown to the working batch size.
+//
+//tiv:hotpath pooled per-request encode buffer
+func appendBinaryBody(scratch []byte, body any) ([]byte, error) {
+	return tivwire.AppendBinary(scratch[:0], body)
+}
+
+// appendJSONBody renders body as JSON into the scratch buffer. The
+// encoder itself allocates (reflection), so this arm is not a hot
+// path — binary clients never take it.
+func appendJSONBody(scratch []byte, body any) ([]byte, error) {
 	buf := bytes.NewBuffer(scratch[:0])
 	if err := json.NewEncoder(buf).Encode(body); err != nil {
-		return scratch, "", err
+		return scratch, err
 	}
-	return buf.Bytes(), "application/json", nil
+	return buf.Bytes(), nil
 }
 
 func (c *Client) post(ctx context.Context, path string, body, out any) error {

@@ -3,7 +3,6 @@ package tivd
 import (
 	"context"
 	"encoding/json"
-	"fmt"
 	"io"
 	"net/http"
 
@@ -55,14 +54,14 @@ func (s *Server) normalizeQuery(q *tivaware.Query) error {
 			q.K = max
 		}
 		if q.K < 0 || q.K > max {
-			return fmt.Errorf("parameter k: %d outside [1,%d]", q.K, max)
+			return badRequestf("parameter k: %d outside [1,%d]", q.K, max)
 		}
 	case tivaware.KindTop:
 		if q.K == 0 {
 			q.K = 10
 		}
 		if q.K < 0 || q.K > s.opts.maxRankK() {
-			return fmt.Errorf("parameter k: %d outside [1,%d]", q.K, s.opts.maxRankK())
+			return badRequestf("parameter k: %d outside [1,%d]", q.K, s.opts.maxRankK())
 		}
 	}
 	return nil
@@ -78,7 +77,7 @@ func (s *Server) computeWire(ctx context.Context, q tivaware.Query) (*tivwire.Re
 		return nil, 0, err
 	}
 	if len(res) != 1 {
-		return nil, 0, fmt.Errorf("backend answered %d results for 1 query", len(res))
+		return nil, 0, internalErrorf("backend answered %d results for 1 query", len(res))
 	}
 	wr := tivwire.FromResult(q, res[0], epoch, func(err error) tivwire.Error {
 		_, e := resultEnvelope(q.Kind, err)
@@ -114,7 +113,7 @@ func (s *Server) resolveWire(ctx context.Context, q tivaware.Query) (*tivwire.Re
 // kind produces.
 func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, q tivaware.Query) {
 	if err := s.normalizeQuery(&q); err != nil {
-		writeError(w, r, http.StatusBadRequest, tivwire.CodeBadRequest, "%v", err)
+		serviceError(w, r, err)
 		return
 	}
 	wr, _, err := s.resolveWire(r.Context(), q)

@@ -221,6 +221,33 @@ func envelope(code string, err error) tivwire.Error {
 	return e
 }
 
+// reqError is a daemon-born error that already knows its taxonomy
+// code: request-decode failures (bad_request) and broken backend
+// contracts (internal). errorEnvelope routes it by WireCode and the
+// envelope message is exactly the underlying error text, so retyping
+// a bare fmt.Errorf into a reqError never changes what the client
+// reads — it only proves the code was chosen rather than defaulted.
+type reqError struct {
+	code string
+	err  error
+}
+
+func (e *reqError) Error() string    { return e.err.Error() }
+func (e *reqError) Unwrap() error    { return e.err }
+func (e *reqError) WireCode() string { return e.code }
+
+// badRequestf builds the client-fault taxonomy error for a malformed
+// or out-of-range request parameter.
+func badRequestf(format string, args ...any) error {
+	return &reqError{code: tivwire.CodeBadRequest, err: fmt.Errorf(format, args...)}
+}
+
+// internalErrorf builds the daemon-fault taxonomy error for a broken
+// backend contract.
+func internalErrorf(format string, args ...any) error {
+	return &reqError{code: tivwire.CodeInternal, err: fmt.Errorf(format, args...)}
+}
+
 // defaultRetryAfter is the retry hint (seconds) attached to every
 // retryable error envelope: long enough for a transient stall to
 // clear, short enough that clients re-probe a recovering backend
@@ -295,7 +322,7 @@ func intParam(r *http.Request, name string, def int) (int, error) {
 	}
 	v, err := strconv.Atoi(raw)
 	if err != nil {
-		return 0, fmt.Errorf("parameter %s: %v", name, err)
+		return 0, badRequestf("parameter %s: %v", name, err)
 	}
 	return v, nil
 }
@@ -307,7 +334,7 @@ func floatParam(r *http.Request, name string, def float64) (float64, error) {
 	}
 	v, err := strconv.ParseFloat(raw, 64)
 	if err != nil {
-		return 0, fmt.Errorf("parameter %s: %v", name, err)
+		return 0, badRequestf("parameter %s: %v", name, err)
 	}
 	return v, nil
 }
@@ -330,13 +357,13 @@ func queryOptions(r *http.Request) (tivaware.QueryOptions, error) {
 	case "true", "1":
 		opts.ExcludeViolated = true
 	default:
-		return opts, fmt.Errorf("parameter exclude: want true or false, have %q", raw)
+		return opts, badRequestf("parameter exclude: want true or false, have %q", raw)
 	}
 	if raw := r.URL.Query().Get("candidates"); raw != "" {
 		for _, f := range strings.Split(raw, ",") {
 			c, err := strconv.Atoi(strings.TrimSpace(f))
 			if err != nil {
-				return opts, fmt.Errorf("parameter candidates: %v", err)
+				return opts, badRequestf("parameter candidates: %v", err)
 			}
 			opts.Candidates = append(opts.Candidates, c)
 		}

@@ -665,7 +665,7 @@ func (g *Gateway) ApplyUpdate(ctx context.Context, i, j int, rtt float64) (tivwi
 //     unavailable).
 func (g *Gateway) ApplyBatch(ctx context.Context, updates []tivwire.Update) (tivwire.ChangeSet, error) {
 	if len(updates) == 0 {
-		return tivwire.ChangeSet{}, fmt.Errorf("tivshard: empty update batch")
+		return tivwire.ChangeSet{}, errBadRequestf("empty update batch")
 	}
 	// Validate locally before any shard sees the batch, so a bad
 	// update cannot be applied by some replicas and rejected by
@@ -673,10 +673,10 @@ func (g *Gateway) ApplyBatch(ctx context.Context, updates []tivwire.Update) (tiv
 	// fast here keeps the whole batch all-or-nothing).
 	for _, u := range updates {
 		if u.I < 0 || u.J < 0 || u.I >= g.n || u.J >= g.n {
-			return tivwire.ChangeSet{}, fmt.Errorf("tivshard: update (%d,%d) out of range [0,%d)", u.I, u.J, g.n)
+			return tivwire.ChangeSet{}, errBadRequestf("update (%d,%d) out of range [0,%d)", u.I, u.J, g.n)
 		}
 		if u.I == u.J {
-			return tivwire.ChangeSet{}, fmt.Errorf("tivshard: update on diagonal (%d,%d)", u.I, u.J)
+			return tivwire.ChangeSet{}, errBadRequestf("update on diagonal (%d,%d)", u.I, u.J)
 		}
 	}
 	primary := g.edgeOwner(updates[0].I, updates[0].J)
@@ -875,6 +875,11 @@ func (g *Gateway) startPumps() error {
 	attach := make(chan error, g.k)
 	for s := range g.clients {
 		g.pumpWG.Add(1)
+		// SubscribeOpts' event loop blocks reading the HTTP response
+		// body; cancelling ctx (stopPumps, failed attach) closes the
+		// body through the transport, which ends the scan with an error
+		// and returns — cancellation the static proof cannot see.
+		//lint:tiv goleak the SSE scan loop exits when pumpCancel closes the stream through the HTTP transport
 		go g.pump(ctx, s, attach)
 	}
 	var errs []error
