@@ -54,6 +54,7 @@ import (
 	"tivaware/internal/tivaware"
 	"tivaware/internal/tivd"
 	"tivaware/internal/tivfault"
+	"tivaware/internal/tivframe"
 	"tivaware/internal/tivshard"
 )
 
@@ -71,19 +72,21 @@ func run(args []string, stdout io.Writer, ctx context.Context) error {
 	fs := flag.NewFlagSet("tivd", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		listen   = fs.String("listen", "127.0.0.1:7070", "HTTP listen address (use :0 for an ephemeral port)")
-		in       = fs.String("in", "", "delay matrix file to serve")
-		format   = fs.String("format", "csv", "input format: csv or binary")
-		synthN   = fs.Int("synth", 0, "serve a DS2-like synthetic matrix of this many nodes instead of -in")
-		seed     = fs.Int64("seed", 1, "seed for -synth")
-		live     = fs.Bool("live", false, "maintain the analysis incrementally and accept POST /v1/update + /v1/subscribe")
-		workers  = fs.Int("workers", 0, "analysis parallelism (0 = GOMAXPROCS)")
-		sample   = fs.Int("sample", 0, "estimate severities from this many third nodes (0 = exact; incompatible with -live)")
-		maxK     = fs.Int("maxk", 0, "cap on k for /v1/rank and /v1/top (0 = default 4096)")
-		maxBatch = fs.Int("maxbatch", 0, "cap on queries per POST /v1/batch request (0 = default 256)")
-		cacheN   = fs.Int("cache", 0, "epoch-keyed query cache capacity in entries (0 = default 4096, negative disables)")
-		shards   = fs.String("shards", "", "comma-separated shard daemon URLs: serve a scatter-gather gateway over them instead of a local matrix")
-		chaos    = fs.String("chaos", "", "inject faults into every served request, e.g. latency=50ms,jitter=10ms,err=0.05,hang=0.01,tear=0.05,crash=500,seed=7 (crash=N exits the process hard on the Nth request)")
+		listen      = fs.String("listen", "127.0.0.1:7070", "HTTP listen address (use :0 for an ephemeral port)")
+		in          = fs.String("in", "", "delay matrix file to serve")
+		format      = fs.String("format", "csv", "input format: csv or binary")
+		synthN      = fs.Int("synth", 0, "serve a DS2-like synthetic matrix of this many nodes instead of -in")
+		seed        = fs.Int64("seed", 1, "seed for -synth")
+		live        = fs.Bool("live", false, "maintain the analysis incrementally and accept POST /v1/update + /v1/subscribe")
+		workers     = fs.Int("workers", 0, "analysis parallelism (0 = GOMAXPROCS)")
+		sample      = fs.Int("sample", 0, "estimate severities from this many third nodes (0 = exact; incompatible with -live)")
+		maxK        = fs.Int("maxk", 0, "cap on k for /v1/rank and /v1/top (0 = default 4096)")
+		maxBatch    = fs.Int("maxbatch", 0, "cap on queries per POST /v1/batch request (0 = default 256)")
+		cacheN      = fs.Int("cache", 0, "epoch-keyed query cache capacity in entries (0 = default 4096, negative disables)")
+		shards      = fs.String("shards", "", "comma-separated shard daemon URLs: serve a scatter-gather gateway over them instead of a local matrix")
+		chaos       = fs.String("chaos", "", "inject faults into every served request, e.g. latency=50ms,jitter=10ms,err=0.05,hang=0.01,tear=0.05,crash=500,seed=7 (crash=N exits the process hard on the Nth request)")
+		frameListen = fs.String("frame-listen", "", "framed binary transport listen address — tcp \"host:port\" (use :0 for ephemeral) or \"unix:///path.sock\"; empty disables")
+		shardFrames = fs.String("shard-frames", "", "comma-separated framed addresses for the -shards daemons, aligned by index (an empty entry keeps that shard on HTTP)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,7 +100,11 @@ func run(args []string, stdout io.Writer, ctx context.Context) error {
 			fs.Usage()
 			return fmt.Errorf("-shards is a pure gateway: it takes no -in/-synth/-format/-live/-sample/-workers (liveness and analysis parallelism follow the shards)")
 		}
-		return runGateway(*shards, *listen, tivd.Options{MaxRankK: *maxK, MaxBatch: *maxBatch, CacheEntries: *cacheN}, mw, stdout, ctx)
+		return runGateway(*shards, *shardFrames, *listen, *frameListen, tivd.Options{MaxRankK: *maxK, MaxBatch: *maxBatch, CacheEntries: *cacheN}, mw, stdout, ctx)
+	}
+	if *shardFrames != "" {
+		fs.Usage()
+		return fmt.Errorf("-shard-frames requires -shards")
 	}
 	if (*in == "") == (*synthN == 0) {
 		fs.Usage()
@@ -145,7 +152,7 @@ func run(args []string, stdout io.Writer, ctx context.Context) error {
 		return err
 	}
 	banner := fmt.Sprintf("tivd: serving %d nodes (live=%v)", svc.N(), svc.Live())
-	return serveLoop(srv, *listen, banner, mw, stdout, ctx, nil)
+	return serveLoop(srv, *listen, *frameListen, banner, mw, stdout, ctx, nil)
 }
 
 // chaosMiddleware builds the -chaos fault-injecting middleware (nil
@@ -170,8 +177,10 @@ func chaosMiddleware(spec string, stdout io.Writer) (func(http.Handler) http.Han
 }
 
 // runGateway serves a tivshard gateway over the given shard daemons
-// behind the identical wire surface.
-func runGateway(shards, listen string, opts tivd.Options, mw func(http.Handler) http.Handler, stdout io.Writer, ctx context.Context) error {
+// behind the identical wire surface. shardFrames, when non-empty,
+// lists the shards' framed addresses (aligned by index) so the
+// gateway dials them over persistent frames instead of HTTP.
+func runGateway(shards, shardFrames, listen, frameListen string, opts tivd.Options, mw func(http.Handler) http.Handler, stdout io.Writer, ctx context.Context) error {
 	var urls []string
 	for _, u := range strings.Split(shards, ",") {
 		if u = strings.TrimSpace(u); u != "" {
@@ -180,6 +189,15 @@ func runGateway(shards, listen string, opts tivd.Options, mw func(http.Handler) 
 	}
 	if len(urls) == 0 {
 		return fmt.Errorf("-shards carries no URLs")
+	}
+	var frameAddrs []string
+	if shardFrames != "" {
+		for _, a := range strings.Split(shardFrames, ",") {
+			frameAddrs = append(frameAddrs, strings.TrimSpace(a))
+		}
+		if len(frameAddrs) != len(urls) {
+			return fmt.Errorf("-shard-frames carries %d addresses for %d shards", len(frameAddrs), len(urls))
+		}
 	}
 	if ctx == nil {
 		var stop context.CancelFunc
@@ -190,7 +208,7 @@ func runGateway(shards, listen string, opts tivd.Options, mw func(http.Handler) 
 	// gateway (or yield to a signal), not wedge it before it serves.
 	probeCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
 	defer cancel()
-	gw, err := tivshard.New(probeCtx, urls, tivshard.Options{})
+	gw, err := tivshard.New(probeCtx, urls, tivshard.Options{FrameAddrs: frameAddrs})
 	if err != nil {
 		return err
 	}
@@ -200,20 +218,40 @@ func runGateway(shards, listen string, opts tivd.Options, mw func(http.Handler) 
 		return err
 	}
 	banner := fmt.Sprintf("tivd: gateway over %d shards serving %d nodes (live=%v)", gw.K(), gw.N(), gw.Live())
-	return serveLoop(srv, listen, banner, mw, stdout, ctx, gw.Close)
+	return serveLoop(srv, listen, frameListen, banner, mw, stdout, ctx, gw.Close)
 }
 
-// serveLoop binds the listener, serves until the context (nil means
-// "on SIGINT/SIGTERM") is done, and shuts down cleanly: SSE streams
-// first so the HTTP server can drain, then onShutdown (a gateway's
-// fan-in pumps), if any. mw, when non-nil, wraps the served handler
-// (-chaos fault injection).
-func serveLoop(srv *tivd.Server, listen, banner string, mw func(http.Handler) http.Handler, stdout io.Writer, ctx context.Context, onShutdown func()) error {
+// serveLoop binds the listeners (HTTP always; the framed transport
+// when frameListen is set), serves until the context (nil means "on
+// SIGINT/SIGTERM") is done, and shuts down cleanly: SSE streams and
+// the framed drain first so both servers can empty their in-flight
+// work, then onShutdown (a gateway's fan-in pumps), if any. mw, when
+// non-nil, wraps the served HTTP handler (-chaos fault injection; the
+// framed path carries no middleware).
+func serveLoop(srv *tivd.Server, listen, frameListen, banner string, mw func(http.Handler) http.Handler, stdout io.Writer, ctx context.Context, onShutdown func()) error {
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "%s on http://%s\n", banner, ln.Addr())
+
+	var fsrv *tivframe.Server
+	frameDone := make(chan error, 1)
+	if frameListen != "" {
+		network, address, err := tivframe.SplitAddr(frameListen)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		fln, err := net.Listen(network, address)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		fsrv = tivframe.NewServer(srv.FrameHandler(), tivframe.Options{})
+		fmt.Fprintf(stdout, "tivd: frames on %s://%s\n", network, fln.Addr())
+		go func() { frameDone <- fsrv.Serve(fln) }()
+	}
 
 	if ctx == nil {
 		var stop context.CancelFunc
@@ -230,6 +268,15 @@ func serveLoop(srv *tivd.Server, listen, banner string, mw func(http.Handler) ht
 
 	select {
 	case err := <-done:
+		if fsrv != nil {
+			fsrv.Abort()
+		}
+		return err
+	case err := <-frameDone:
+		// Only a real accept-loop failure lands here before shutdown
+		// (Close sends ErrServerClosed, and only after ctx.Done()).
+		hs.Close()
+		<-done
 		return err
 	case <-ctx.Done():
 	}
@@ -237,6 +284,16 @@ func serveLoop(srv *tivd.Server, listen, banner string, mw func(http.Handler) ht
 	srv.Close() // end SSE streams so Shutdown can drain
 	if onShutdown != nil {
 		defer onShutdown()
+	}
+	if fsrv != nil {
+		// Graceful framed drain: stop accepting, let in-flight
+		// envelopes answer, then close the connections.
+		if err := fsrv.Close(); err != nil {
+			return err
+		}
+		if err := <-frameDone; err != nil && !errors.Is(err, tivframe.ErrServerClosed) {
+			return err
+		}
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()

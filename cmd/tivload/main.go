@@ -48,6 +48,7 @@ import (
 	"tivaware/internal/tivaware"
 	"tivaware/internal/tivclient"
 	"tivaware/internal/tivd"
+	"tivaware/internal/tivframe"
 	"tivaware/internal/tivshard/testcluster"
 )
 
@@ -73,6 +74,8 @@ func run(args []string, stdout io.Writer) error {
 		conns    = fs.Int("conns", 4, "concurrent load connections (workers)")
 		batch    = fs.Int("batch", 1, "queries per request; >1 uses POST /v1/batch")
 		binary   = fs.Bool("binary", false, "use the compact binary wire framing")
+		frame    = fs.Bool("frame", false, "drive the persistent framed transport (tivd -frame-listen) instead of HTTP; with -compare, adds framed runs after the HTTP ones")
+		frameTgt = fs.String("frame-addr", "", "framed address of the -target daemon (tcp \"host:port\" or \"unix:///path.sock\"); required with -target -frame")
 		mixSpec  = fs.String("mix", "rank=4,closest=2,detour=2,top=1", "weighted op mix: kind=weight[,kind=weight...]; kinds: rank closest detour top delay analysis update")
 		compare  = fs.Bool("compare", false, "run single-json, single-binary, batch-json, batch-binary on identical traffic and report the batch+binary speedup")
 		rankK    = fs.Int("rankk", 8, "k for rank queries in the mix")
@@ -101,22 +104,26 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	url := *target
+	fAddr := *frameTgt
 	var cleanup func()
 	switch {
 	case url != "":
+		if *frame && fAddr == "" {
+			return fmt.Errorf("-frame against a -target daemon needs -frame-addr")
+		}
 	case *shardsK > 0:
 		fmt.Fprintf(stdout, "tivload: starting in-process %d-node cluster over %d shards (seed %d)\n", *synthN, *shardsK, *seed)
 		cl, err := testcluster.Start(testcluster.Config{
 			N: *synthN, Shards: *shardsK, Seed: *seed, Live: *live,
-			ServeGateway: true,
+			ServeGateway: true, Frames: *frame,
 		})
 		if err != nil {
 			return err
 		}
-		cleanup, url = cl.Close, cl.GatewayURL
+		cleanup, url, fAddr = cl.Close, cl.GatewayURL, cl.GatewayFrameAddr
 	default:
 		fmt.Fprintf(stdout, "tivload: starting in-process %d-node monolith (seed %d)\n", *synthN, *seed)
-		url, cleanup, err = serveMonolith(*synthN, *seed, *live)
+		url, fAddr, cleanup, err = serveMonolith(*synthN, *seed, *live, *frame)
 		if err != nil {
 			return err
 		}
@@ -133,7 +140,7 @@ func run(args []string, stdout io.Writer) error {
 	n := h.N
 	fmt.Fprintf(stdout, "tivload: target %s: %d nodes, live=%v\n", url, n, h.Live)
 
-	cfgs := []runConfig{{name: runName(*batch, *binary), batch: *batch, binary: *binary}}
+	cfgs := []runConfig{{name: runName(*batch, *binary, *frame), batch: *batch, binary: *binary, frame: *frame}}
 	if *compare {
 		b := *batch
 		if b == 1 {
@@ -145,26 +152,34 @@ func run(args []string, stdout io.Writer) error {
 			{name: "batch-json", batch: b, binary: false},
 			{name: "batch-binary", batch: b, binary: true},
 		}
+		if *frame {
+			cfgs = append(cfgs,
+				runConfig{name: "single-frame", batch: 1, binary: true, frame: true},
+				runConfig{name: "batch-frame", batch: b, binary: true, frame: true},
+			)
+		}
 	}
 
 	load := loadSpec{
-		url: url, n: n, mix: mix, seed: *seed,
+		url: url, frameAddr: fAddr, n: n, mix: mix, seed: *seed,
 		conns: *conns, qps: *qps,
 		warmup: *warmup, duration: *duration,
 		rankK: *rankK, topK: *topK,
 	}
 	report := benchReport{
-		Benchmark: "tivload",
-		Target:    targetLabel(*target, *synthN, *shardsK),
-		Nodes:     n,
-		Shards:    *shardsK,
-		Seed:      *seed,
-		Mix:       *mixSpec,
-		QPS:       *qps,
-		Conns:     *conns,
-		DurationS: duration.Seconds(),
-		GoVersion: runtime.Version(),
-		When:      time.Now().UTC().Format(time.RFC3339),
+		Benchmark:  "tivload",
+		Target:     targetLabel(*target, *synthN, *shardsK),
+		Nodes:      n,
+		Shards:     *shardsK,
+		Seed:       *seed,
+		Mix:        *mixSpec,
+		QPS:        *qps,
+		Conns:      *conns,
+		DurationS:  duration.Seconds(),
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		When:       time.Now().UTC().Format(time.RFC3339),
 	}
 	for _, rc := range cfgs {
 		res, err := runLoad(load, rc, probe)
@@ -197,6 +212,13 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "tivload: at 3x single-json throughput, batch-binary p99 %.3fms vs single-json p99 %.3fms\n",
 				res.P99Ms, base.P99Ms)
 		}
+		// The framed-transport claim: batched frames sustain at least
+		// HTTP batch-binary's throughput at equal or lower p99.
+		if bb, bf := findRun(report.Runs, "batch-binary"), findRun(report.Runs, "batch-frame"); bb != nil && bf != nil && bb.QueriesPerS > 0 {
+			report.SpeedupFrameVsHTTP = bf.QueriesPerS / bb.QueriesPerS
+			fmt.Fprintf(stdout, "tivload: batch-frame vs batch-binary: %.2fx queries/s (p99 %.3fms vs %.3fms)\n",
+				report.SpeedupFrameVsHTTP, bf.P99Ms, bb.P99Ms)
+		}
 	}
 	if *out != "" {
 		buf, err := json.MarshalIndent(report, "", "  ")
@@ -222,7 +244,7 @@ func targetLabel(target string, n, shards int) string {
 	return fmt.Sprintf("in-process monolith (%d nodes)", n)
 }
 
-func runName(batch int, binary bool) string {
+func runName(batch int, binary, frame bool) string {
 	mode, codec := "single", "json"
 	if batch > 1 {
 		mode = "batch"
@@ -230,39 +252,56 @@ func runName(batch int, binary bool) string {
 	if binary {
 		codec = "binary"
 	}
+	if frame {
+		codec = "frame"
+	}
 	return mode + "-" + codec
 }
 
 // serveMonolith boots one in-process tivd daemon over a synthetic
-// matrix on a loopback listener.
-func serveMonolith(n int, seed int64, live bool) (url string, cleanup func(), err error) {
+// matrix on a loopback listener; with frames, a framed listener too.
+func serveMonolith(n int, seed int64, live, frames bool) (url, frameAddr string, cleanup func(), err error) {
 	sp, err := synth.Generate(synth.DS2Like(n, seed))
 	if err != nil {
-		return "", nil, err
+		return "", "", nil, err
 	}
 	svc, err := tivaware.NewFromMatrix(sp.Matrix, tivaware.Options{Live: live})
 	if err != nil {
-		return "", nil, err
+		return "", "", nil, err
 	}
 	srv, err := tivd.New(svc, tivd.Options{})
 	if err != nil {
-		return "", nil, err
+		return "", "", nil, err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return "", nil, err
+		return "", "", nil, err
+	}
+	var fsrv *tivframe.Server
+	if frames {
+		fln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			ln.Close()
+			return "", "", nil, err
+		}
+		fsrv = tivframe.NewServer(srv.FrameHandler(), tivframe.Options{})
+		go func() { _ = fsrv.Serve(fln) }()
+		frameAddr = fln.Addr().String()
 	}
 	hs := &http.Server{Handler: srv.Handler()}
 	go func() { _ = hs.Serve(ln) }()
 	cleanup = func() {
 		srv.Close()
+		if fsrv != nil {
+			_ = fsrv.Close()
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
 			_ = hs.Close()
 		}
 	}
-	return "http://" + ln.Addr().String(), cleanup, nil
+	return "http://" + ln.Addr().String(), frameAddr, cleanup, nil
 }
 
 // mixEntry is one weighted op kind; mixTable picks by cumulative
@@ -330,22 +369,24 @@ func (t mixTable) weightOf(kind string) int {
 
 // loadSpec is everything a run shares regardless of wire config.
 type loadSpec struct {
-	url      string
-	n        int
-	mix      mixTable
-	seed     int64
-	conns    int
-	qps      float64
-	warmup   time.Duration
-	duration time.Duration
-	rankK    int
-	topK     int
+	url       string
+	frameAddr string
+	n         int
+	mix       mixTable
+	seed      int64
+	conns     int
+	qps       float64
+	warmup    time.Duration
+	duration  time.Duration
+	rankK     int
+	topK      int
 }
 
 type runConfig struct {
 	name   string
 	batch  int
 	binary bool
+	frame  bool
 }
 
 // runResult is one run's persisted measurement.
@@ -376,19 +417,29 @@ type cacheDelta struct {
 }
 
 type benchReport struct {
-	Benchmark          string      `json:"benchmark"`
-	Target             string      `json:"target"`
-	Nodes              int         `json:"nodes"`
-	Shards             int         `json:"shards,omitempty"`
-	Seed               int64       `json:"seed"`
-	Mix                string      `json:"mix"`
-	QPS                float64     `json:"qps"`
-	Conns              int         `json:"conns"`
-	DurationS          float64     `json:"duration_s"`
-	GoVersion          string      `json:"go_version"`
+	Benchmark string  `json:"benchmark"`
+	Target    string  `json:"target"`
+	Nodes     int     `json:"nodes"`
+	Shards    int     `json:"shards,omitempty"`
+	Seed      int64   `json:"seed"`
+	Mix       string  `json:"mix"`
+	QPS       float64 `json:"qps"`
+	Conns     int     `json:"conns"`
+	DurationS float64 `json:"duration_s"`
+	GoVersion string  `json:"go_version"`
+	// GoMaxProcs and NumCPU pin the core budget a run was recorded
+	// under: latency trajectories from different core counts are not
+	// comparable, and the tivload-smoke guard refuses to gate across
+	// a mismatch.
+	GoMaxProcs         int         `json:"gomaxprocs"`
+	NumCPU             int         `json:"num_cpu"`
 	When               string      `json:"when"`
 	Runs               []runResult `json:"runs"`
 	SpeedupBatchBinary float64     `json:"speedup_batch_binary_vs_single_json,omitempty"`
+	// SpeedupFrameVsHTTP compares batched framed-transport throughput
+	// against HTTP batch-binary on identical traffic; the framed
+	// transport's claim holds at >= 1.0 with no p99 regression.
+	SpeedupFrameVsHTTP float64 `json:"speedup_batch_frame_vs_batch_binary,omitempty"`
 	// PacedP99Ms is batch-binary's p99 while paced at 3x single-json's
 	// measured query throughput; the traffic-plane claim holds when it
 	// does not exceed BaseP99Ms (single-json's closed-loop p99).
@@ -409,7 +460,16 @@ func findRun(runs []runResult, name string) *runResult {
 // conns workers each issuing requests — paced when qps > 0, closed
 // loop otherwise — into per-worker histograms merged at the end.
 func runLoad(ls loadSpec, rc runConfig, probe *tivclient.Client) (runResult, error) {
-	client := tivclient.New(ls.url, tivclient.Options{Binary: rc.binary})
+	copts := tivclient.Options{Binary: rc.binary}
+	if rc.frame {
+		if ls.frameAddr == "" {
+			return runResult{}, fmt.Errorf("run %s needs a framed listener (none available)", rc.name)
+		}
+		copts.FrameAddr = ls.frameAddr
+		copts.FrameConns = ls.conns
+	}
+	client := tivclient.New(ls.url, copts)
+	defer client.Close()
 	ctx := context.Background()
 
 	if ls.warmup > 0 {

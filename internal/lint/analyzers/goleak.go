@@ -22,7 +22,8 @@ var GoLeak = &analysis.Analyzer{
 	Doc: `every serving-plane go statement must provably terminate.
 
 For each go statement in internal/tivd, internal/tivshard,
-internal/tivclient, and internal/tivfault (production files only), the
+internal/tivclient, internal/tivfault, and internal/tivframe
+(production files only), the
 spawned function and everything it transitively calls must be
 summarized as terminating: every loop either is bounded (a monotone
 induction variable against a bound neither of which the body
@@ -47,7 +48,7 @@ it, or suppressing the spawn site with the termination argument.`,
 
 // leakScopes are the serving-plane packages (exact package suffix, so
 // internal/tivshard/testcluster — test scaffolding — is out of scope).
-var leakScopes = []string{"internal/tivd", "internal/tivshard", "internal/tivclient", "internal/tivfault"}
+var leakScopes = []string{"internal/tivd", "internal/tivshard", "internal/tivclient", "internal/tivfault", "internal/tivframe"}
 
 // termFact summarizes whether a function provably terminates; when it
 // does not, why and where.

@@ -33,6 +33,7 @@ import (
 
 	"tivaware/internal/delayspace"
 	"tivaware/internal/tivaware"
+	"tivaware/internal/tivframe"
 	"tivaware/internal/tivwire"
 )
 
@@ -78,6 +79,18 @@ type Options struct {
 	// negotiated per request via Accept/Content-Type. JSON is the
 	// default. SSE subscription streams stay JSON either way.
 	Binary bool
+	// FrameAddr, when set, routes queries, updates, and health pings
+	// over the persistent framed transport (tivd -frame-listen)
+	// instead of HTTP: a pool of multiplexed raw connections carrying
+	// the same binary frames, with no per-request HTTP overhead.
+	// Accepts "host:port", "tcp://host:port", or "unix:///path.sock".
+	// SSE subscriptions always stay on the HTTP base URL. Call
+	// Client.Close to release the pool.
+	FrameAddr string
+	// FrameConns is the framed connection pool size; zero means 2.
+	// Each connection multiplexes concurrent in-flight calls, so a
+	// small pool saturates most daemons.
+	FrameConns int
 }
 
 // defaultTransport backs every client built without an explicit
@@ -106,6 +119,7 @@ type Client struct {
 	reqTO     time.Duration
 	handshake time.Duration
 	binary    bool
+	frames    *tivframe.Pool // nil unless Options.FrameAddr was set
 }
 
 var _ tivaware.Querier = (*Client)(nil)
@@ -125,8 +139,31 @@ func New(baseURL string, opts Options) *Client {
 	if handshake == 0 {
 		handshake = 10 * time.Second
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc, reqTO: reqTO,
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: hc, reqTO: reqTO,
 		handshake: handshake, binary: opts.Binary}
+	if opts.FrameAddr != "" {
+		c.frames = tivframe.NewPool(opts.FrameAddr, opts.FrameConns, tivframe.ClientOptions{})
+	}
+	return c
+}
+
+// Close releases the framed connection pool, if the client dials one.
+// The HTTP transport is shared and stays open. A closed client fails
+// framed calls with a transport error; HTTP paths keep working.
+func (c *Client) Close() error {
+	if c.frames != nil {
+		c.frames.Close()
+	}
+	return nil
+}
+
+// FrameAddr returns the framed-transport address the client dials, or
+// "" when it speaks HTTP only.
+func (c *Client) FrameAddr() string {
+	if c.frames == nil {
+		return ""
+	}
+	return c.frames.Addr()
 }
 
 // callCtx applies the RequestTimeout backstop: calls arriving without
@@ -151,7 +188,7 @@ func (c *Client) get(ctx context.Context, path string, params url.Values, out an
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
-		return fmt.Errorf("tivclient: %w", err)
+		return &Error{Code: CodeTransport, Message: err.Error(), cause: err}
 	}
 	return c.do(req, out)
 }
@@ -204,13 +241,13 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	raw, contentType, err := c.encodeBody(*bp, body)
 	*bp = raw[:0]
 	if err != nil {
-		return fmt.Errorf("tivclient: encoding request: %w", err)
+		return &Error{Code: tivwire.CodeBadRequest, Message: "encoding request: " + err.Error(), cause: err}
 	}
 	ctx, cancel := c.callCtx(ctx)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(raw))
 	if err != nil {
-		return fmt.Errorf("tivclient: %w", err)
+		return &Error{Code: CodeTransport, Message: err.Error(), cause: err}
 	}
 	req.Header.Set("Content-Type", contentType)
 	return c.do(req, out)
@@ -272,9 +309,14 @@ func (c *Client) do(req *http.Request, out any) error {
 func (c *Client) BaseURL() string { return c.base }
 
 // Healthz returns the daemon's health (node count, live flag, epoch
-// and version counters).
+// and version counters). Over the framed transport the ping is a
+// Hello frame answered by the same health core /healthz serves.
 func (c *Client) Healthz(ctx context.Context) (tivwire.Health, error) {
 	var h tivwire.Health
+	if c.frames != nil {
+		err := c.frameCall(ctx, "FRAME health", &tivwire.Hello{}, &h)
+		return h, err
+	}
 	err := c.get(ctx, "/healthz", nil, &h)
 	return h, err
 }
@@ -325,14 +367,23 @@ func (c *Client) Rank(ctx context.Context, target int, candidates []int, opts ti
 	if emptyCandidates(candidates, opts) {
 		return nil, nil
 	}
-	params := selectionParams(candidates, opts)
-	params.Set("target", strconv.Itoa(target))
 	var resp tivwire.RankResponse
-	if err := c.get(ctx, "/v1/rank", params, &resp); err != nil {
-		return nil, err
+	if c.frames != nil {
+		var err error
+		resp, err = c.frameRank(ctx, "FRAME rank", selectionQuery(tivaware.KindRank, target, 0, candidates, opts))
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		params := selectionParams(candidates, opts)
+		params.Set("target", strconv.Itoa(target))
+		if err := c.get(ctx, "/v1/rank", params, &resp); err != nil {
+			return nil, err
+		}
 	}
 	if resp.Truncated {
-		return nil, fmt.Errorf("tivclient: ranking for node %d truncated at %d selections by the daemon's cap; raise tivd -maxk or use KClosest", target, len(resp.Selections))
+		return nil, &Error{Code: tivwire.CodeBadRequest,
+			Message: fmt.Sprintf("ranking for node %d truncated at %d selections by the daemon's cap; raise tivd -maxk or use KClosest", target, len(resp.Selections))}
 	}
 	out := make([]tivaware.Selection, len(resp.Selections))
 	for k, sel := range resp.Selections {
@@ -344,17 +395,25 @@ func (c *Client) Rank(ctx context.Context, target int, candidates []int, opts ti
 // KClosest returns the k best-ranked candidates for the target.
 func (c *Client) KClosest(ctx context.Context, target, k int, opts tivaware.QueryOptions) ([]tivaware.Selection, error) {
 	if k <= 0 {
-		return nil, fmt.Errorf("tivclient: KClosest k = %d, want > 0", k)
+		return nil, &Error{Code: tivwire.CodeBadRequest, Message: fmt.Sprintf("KClosest k = %d, want > 0", k)}
 	}
 	if emptyCandidates(nil, opts) {
 		return nil, nil
 	}
-	params := selectionParams(nil, opts)
-	params.Set("target", strconv.Itoa(target))
-	params.Set("k", strconv.Itoa(k))
 	var resp tivwire.RankResponse
-	if err := c.get(ctx, "/v1/rank", params, &resp); err != nil {
-		return nil, err
+	if c.frames != nil {
+		var err error
+		resp, err = c.frameRank(ctx, "FRAME rank", selectionQuery(tivaware.KindRank, target, k, nil, opts))
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		params := selectionParams(nil, opts)
+		params.Set("target", strconv.Itoa(target))
+		params.Set("k", strconv.Itoa(k))
+		if err := c.get(ctx, "/v1/rank", params, &resp); err != nil {
+			return nil, err
+		}
 	}
 	out := make([]tivaware.Selection, len(resp.Selections))
 	for i, sel := range resp.Selections {
@@ -366,16 +425,25 @@ func (c *Client) KClosest(ctx context.Context, target, k int, opts tivaware.Quer
 // ClosestNode returns the best-ranked candidate for the target.
 func (c *Client) ClosestNode(ctx context.Context, target int, opts tivaware.QueryOptions) (tivaware.Selection, error) {
 	if emptyCandidates(nil, opts) {
-		return tivaware.Selection{}, fmt.Errorf("tivclient: no eligible candidate for node %d", target)
+		return tivaware.Selection{}, &Error{Code: tivwire.CodeBadRequest,
+			Message: fmt.Sprintf("no eligible candidate for node %d", target)}
 	}
-	params := selectionParams(nil, opts)
-	params.Set("target", strconv.Itoa(target))
 	var resp tivwire.RankResponse
-	if err := c.get(ctx, "/v1/closest", params, &resp); err != nil {
-		return tivaware.Selection{}, err
+	if c.frames != nil {
+		var err error
+		resp, err = c.frameRank(ctx, "FRAME closest", selectionQuery(tivaware.KindClosest, target, 0, nil, opts))
+		if err != nil {
+			return tivaware.Selection{}, err
+		}
+	} else {
+		params := selectionParams(nil, opts)
+		params.Set("target", strconv.Itoa(target))
+		if err := c.get(ctx, "/v1/closest", params, &resp); err != nil {
+			return tivaware.Selection{}, err
+		}
 	}
 	if len(resp.Selections) == 0 {
-		return tivaware.Selection{}, fmt.Errorf("tivclient: empty closest response")
+		return tivaware.Selection{}, &Error{Code: CodeBadPayload, Message: "empty closest response"}
 	}
 	return resp.Selections[0].ToSelection(), nil
 }
@@ -389,6 +457,17 @@ func (c *Client) DetourPath(ctx context.Context, i, j int) (tivaware.Detour, err
 // (mod, rem); see tivaware.Service.DetourPathMod. Sharded gateways
 // scatter the relay scan across shards with it.
 func (c *Client) DetourPathMod(ctx context.Context, i, j, mod, rem int) (tivaware.Detour, error) {
+	var resp tivwire.DetourResponse
+	if c.frames != nil {
+		q := tivaware.Query{Kind: tivaware.KindDetour, I: i, J: j,
+			Scatter: tivaware.Scatter{Mod: mod, Rem: rem}}
+		var err error
+		resp, err = c.frameDetour(ctx, "FRAME detour", q)
+		if err != nil {
+			return tivaware.Detour{}, err
+		}
+		return resp.Detour.ToDetour(), nil
+	}
 	params := url.Values{}
 	params.Set("i", strconv.Itoa(i))
 	params.Set("j", strconv.Itoa(j))
@@ -396,7 +475,6 @@ func (c *Client) DetourPathMod(ctx context.Context, i, j, mod, rem int) (tivawar
 		params.Set("mod", strconv.Itoa(mod))
 		params.Set("rem", strconv.Itoa(rem))
 	}
-	var resp tivwire.DetourResponse
 	if err := c.get(ctx, "/v1/detour", params, &resp); err != nil {
 		return tivaware.Detour{}, err
 	}
@@ -414,13 +492,23 @@ func (c *Client) TopEdges(ctx context.Context, k int) ([]delayspace.Edge, error)
 // (mod, rem) — edges (i, j), i < j, with i % mod == rem; see
 // tivaware.View.TopEdgesMod.
 func (c *Client) TopEdgesMod(ctx context.Context, k, mod, rem int) ([]delayspace.Edge, error) {
+	var resp tivwire.TopResponse
+	if c.frames != nil {
+		q := tivaware.Query{Kind: tivaware.KindTop, K: k,
+			Scatter: tivaware.Scatter{Mod: mod, Rem: rem}}
+		var err error
+		resp, err = c.frameTop(ctx, "FRAME top", q)
+		if err != nil {
+			return nil, err
+		}
+		return tivwire.ToEdges(resp.Edges), nil
+	}
 	params := url.Values{}
 	params.Set("k", strconv.Itoa(k))
 	if mod != 0 {
 		params.Set("mod", strconv.Itoa(mod))
 		params.Set("rem", strconv.Itoa(rem))
 	}
-	var resp tivwire.TopResponse
 	if err := c.get(ctx, "/v1/top", params, &resp); err != nil {
 		return nil, err
 	}
@@ -430,10 +518,18 @@ func (c *Client) TopEdgesMod(ctx context.Context, k, mod, rem int) ([]delayspace
 // Delay returns the daemon's delay estimate for (i, j) and whether
 // one exists.
 func (c *Client) Delay(ctx context.Context, i, j int) (float64, bool, error) {
+	var resp tivwire.DelayResponse
+	if c.frames != nil {
+		var err error
+		resp, err = c.frameDelay(ctx, "FRAME delay", tivaware.Query{Kind: tivaware.KindDelay, I: i, J: j})
+		if err != nil {
+			return 0, false, err
+		}
+		return resp.Delay, resp.OK, nil
+	}
 	params := url.Values{}
 	params.Set("i", strconv.Itoa(i))
 	params.Set("j", strconv.Itoa(j))
-	var resp tivwire.DelayResponse
 	if err := c.get(ctx, "/v1/delay", params, &resp); err != nil {
 		return 0, false, err
 	}
@@ -453,7 +549,13 @@ func (c *Client) QueryBatch(ctx context.Context, queries []tivaware.Query) ([]ti
 	}
 	op := "POST /v1/batch"
 	var resp tivwire.BatchResponse
-	if err := c.post(ctx, "/v1/batch", tivwire.BatchRequest{Queries: tivwire.FromQueries(queries)}, &resp); err != nil {
+	if c.frames != nil {
+		op = "FRAME batch"
+		req := tivwire.BatchRequest{Queries: tivwire.FromQueries(queries)}
+		if err := c.frameCall(ctx, op, &req, &resp); err != nil {
+			return nil, err
+		}
+	} else if err := c.post(ctx, "/v1/batch", tivwire.BatchRequest{Queries: tivwire.FromQueries(queries)}, &resp); err != nil {
 		return nil, err
 	}
 	if len(resp.Results) != len(queries) {
@@ -476,6 +578,9 @@ func (c *Client) QueryBatch(ctx context.Context, queries []tivaware.Query) ([]ti
 
 // Analysis returns the daemon's aggregate triangle statistics.
 func (c *Client) Analysis(ctx context.Context) (tivwire.AnalysisResponse, error) {
+	if c.frames != nil {
+		return c.frameAnalysis(ctx, "FRAME analysis")
+	}
 	var resp tivwire.AnalysisResponse
 	err := c.get(ctx, "/v1/analysis", nil, &resp)
 	return resp, err
@@ -490,6 +595,10 @@ func (c *Client) ApplyUpdate(ctx context.Context, i, j int, rtt float64) (tivwir
 // ApplyBatch streams a batch of edge measurements into a live daemon.
 func (c *Client) ApplyBatch(ctx context.Context, updates []tivwire.Update) (tivwire.ChangeSet, error) {
 	var resp tivwire.ChangeSet
+	if c.frames != nil {
+		err := c.frameCall(ctx, "FRAME update", &tivwire.UpdateRequest{Updates: updates}, &resp)
+		return resp, err
+	}
 	err := c.post(ctx, "/v1/update", tivwire.UpdateRequest{Updates: updates}, &resp)
 	return resp, err
 }
@@ -540,7 +649,7 @@ type SubscribeOptions struct {
 // so a hung daemon fails the call instead of wedging it.
 func (c *Client) SubscribeOpts(ctx context.Context, opts SubscribeOptions, fn func(tivwire.ChangeSet)) error {
 	if fn == nil {
-		return fmt.Errorf("tivclient: nil subscriber")
+		return &Error{Code: tivwire.CodeBadRequest, Message: "nil subscriber"}
 	}
 	// The handshake watchdog cancels the stream context if the first
 	// byte does not arrive in time; timedOut tells that cancellation
@@ -576,7 +685,7 @@ func (c *Client) SubscribeOpts(ctx context.Context, opts SubscribeOptions, fn fu
 
 	req, err := http.NewRequestWithContext(sctx, http.MethodGet, c.base+"/v1/subscribe", nil)
 	if err != nil {
-		return fmt.Errorf("tivclient: %w", err)
+		return &Error{Code: CodeTransport, Message: err.Error(), cause: err}
 	}
 	req.Header.Set("Accept", "text/event-stream")
 	resp, err := c.hc.Do(req)
@@ -611,13 +720,13 @@ func (c *Client) SubscribeOpts(ctx context.Context, opts SubscribeOptions, fn fu
 			if ctx.Err() != nil {
 				return nil
 			}
-			return fmt.Errorf("tivclient: subscription stream: %w", err)
+			return &Error{Code: CodeTransport, Message: "subscription stream: " + err.Error(), cause: err}
 		}
 		switch ev.Name {
 		case "hello":
 			var h tivwire.Hello
 			if err := json.Unmarshal([]byte(ev.Data), &h); err != nil {
-				return fmt.Errorf("tivclient: decoding hello event: %w", err)
+				return &Error{Code: CodeBadPayload, Message: "decoding hello event: " + err.Error(), cause: err}
 			}
 			if opts.OnHello != nil {
 				opts.OnHello(h)
@@ -625,7 +734,7 @@ func (c *Client) SubscribeOpts(ctx context.Context, opts SubscribeOptions, fn fu
 		case "changeset":
 			var cs tivwire.ChangeSet
 			if err := json.Unmarshal([]byte(ev.Data), &cs); err != nil {
-				return fmt.Errorf("tivclient: decoding changeset event: %w", err)
+				return &Error{Code: CodeBadPayload, Message: "decoding changeset event: " + err.Error(), cause: err}
 			}
 			fn(cs)
 		case "overflow":
@@ -695,7 +804,7 @@ type AutoSubscribeOptions struct {
 // marker.
 func (c *Client) AutoSubscribe(ctx context.Context, opts AutoSubscribeOptions, fn func(tivwire.ChangeSet)) error {
 	if fn == nil {
-		return fmt.Errorf("tivclient: nil subscriber")
+		return &Error{Code: tivwire.CodeBadRequest, Message: "nil subscriber"}
 	}
 	base := opts.ReconnectDelay
 	if base <= 0 {

@@ -50,6 +50,10 @@ type Error struct {
 
 func (e *Error) Error() string {
 	switch {
+	case e.Op == "" && e.Status == 0:
+		// Local validation failures carry no operation: they fail
+		// before any request exists.
+		return "tivclient: " + e.Message
 	case e.Status == 0:
 		return fmt.Sprintf("tivclient: %s: %s", e.Op, e.Message)
 	case e.Code != "":
@@ -60,6 +64,10 @@ func (e *Error) Error() string {
 }
 
 func (e *Error) Unwrap() error { return e.cause }
+
+// WireCode exposes the taxonomy code under the interface the wireerr
+// lint (and code-dispatching callers) recognize.
+func (e *Error) WireCode() string { return e.Code }
 
 // Retryable reports whether the failure is worth retrying — against
 // the same daemon (after RetryAfter, if set) or a replica. Terminal

@@ -1,0 +1,155 @@
+package tivclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"tivaware/internal/tivaware"
+	"tivaware/internal/tivframe"
+	"tivaware/internal/tivwire"
+)
+
+// The framed call path. When Options.FrameAddr is set, every query,
+// update, and health ping travels over a pool of persistent raw
+// connections (tivd -frame-listen) carrying the same binary frames the
+// HTTP binary codec uses — multiplexed by request id, with no
+// per-request HTTP overhead. Single-shot queries become framed batches
+// of one, which is exactly how the daemon answers a single-shot GET
+// internally, so both transports hit the same cache entries and
+// produce the same answers. Every failure is classified into the same
+// typed *Error taxonomy the HTTP path produces, so the retry layers
+// above (tivshard) dispatch identically no matter the transport.
+
+// frameCall performs one request/response exchange on the framed pool
+// and decodes the response into resp.
+func (c *Client) frameCall(ctx context.Context, op string, req, resp any) error {
+	ctx, cancel := c.callCtx(ctx)
+	defer cancel()
+	err := c.frames.Do(ctx, req, resp)
+	if err == nil {
+		return nil
+	}
+	var se *tivframe.ServerError
+	switch {
+	case errors.As(err, &se):
+		// The framed analogue of a non-200 envelope response.
+		return &Error{Op: op, Code: se.Env.Code, Message: se.Env.Error,
+			RetryAfter: retryAfter(se.Env.RetryAfter), cause: err}
+	case errors.Is(err, tivframe.ErrDecode):
+		return &Error{Op: op, Code: CodeBadPayload, Message: err.Error(), cause: err}
+	default:
+		// Dial, write, torn-read, and context failures: the request
+		// may never have completed. Context errors stay reachable via
+		// the cause chain, so IsRetryable still rules cancellation
+		// terminal.
+		return &Error{Op: op, Code: CodeTransport, Message: err.Error(), cause: err}
+	}
+}
+
+// frameQuery answers one single-shot query as a framed batch of one
+// and returns the aligned result; a per-query error envelope comes
+// back as a typed *Error.
+func (c *Client) frameQuery(ctx context.Context, op string, q tivaware.Query) (*tivwire.Result, error) {
+	var resp tivwire.BatchResponse
+	req := tivwire.BatchRequest{Queries: tivwire.FromQueries([]tivaware.Query{q})}
+	if err := c.frameCall(ctx, op, &req, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != 1 {
+		return nil, &Error{Op: op, Code: CodeBadPayload,
+			Message: fmt.Sprintf("daemon answered %d results for 1 query", len(resp.Results))}
+	}
+	r := &resp.Results[0]
+	if r.Err != nil {
+		return nil, &Error{Op: op, Code: r.Err.Code, Message: r.Err.Error,
+			RetryAfter: retryAfter(r.Err.RetryAfter)}
+	}
+	return r, nil
+}
+
+// frameRank runs a rank-shaped query (rank, closest) and unwraps its
+// payload.
+func (c *Client) frameRank(ctx context.Context, op string, q tivaware.Query) (tivwire.RankResponse, error) {
+	r, err := c.frameQuery(ctx, op, q)
+	if err != nil {
+		return tivwire.RankResponse{}, err
+	}
+	if r.Rank == nil {
+		return tivwire.RankResponse{}, missingPayload(op, "rank", r)
+	}
+	return *r.Rank, nil
+}
+
+// frameDetour runs a detour query and unwraps its payload.
+func (c *Client) frameDetour(ctx context.Context, op string, q tivaware.Query) (tivwire.DetourResponse, error) {
+	r, err := c.frameQuery(ctx, op, q)
+	if err != nil {
+		return tivwire.DetourResponse{}, err
+	}
+	if r.Detour == nil {
+		return tivwire.DetourResponse{}, missingPayload(op, "detour", r)
+	}
+	return *r.Detour, nil
+}
+
+// frameTop runs a top-edges query and unwraps its payload.
+func (c *Client) frameTop(ctx context.Context, op string, q tivaware.Query) (tivwire.TopResponse, error) {
+	r, err := c.frameQuery(ctx, op, q)
+	if err != nil {
+		return tivwire.TopResponse{}, err
+	}
+	if r.Top == nil {
+		return tivwire.TopResponse{}, missingPayload(op, "top", r)
+	}
+	return *r.Top, nil
+}
+
+// frameDelay runs a delay query and unwraps its payload.
+func (c *Client) frameDelay(ctx context.Context, op string, q tivaware.Query) (tivwire.DelayResponse, error) {
+	r, err := c.frameQuery(ctx, op, q)
+	if err != nil {
+		return tivwire.DelayResponse{}, err
+	}
+	if r.Delay == nil {
+		return tivwire.DelayResponse{}, missingPayload(op, "delay", r)
+	}
+	return *r.Delay, nil
+}
+
+// frameAnalysis runs an analysis query and unwraps its payload.
+func (c *Client) frameAnalysis(ctx context.Context, op string) (tivwire.AnalysisResponse, error) {
+	r, err := c.frameQuery(ctx, op, tivaware.Query{Kind: tivaware.KindAnalysis})
+	if err != nil {
+		return tivwire.AnalysisResponse{}, err
+	}
+	if r.Analysis == nil {
+		return tivwire.AnalysisResponse{}, missingPayload(op, "analysis", r)
+	}
+	return *r.Analysis, nil
+}
+
+// missingPayload reports a result that decoded but carries neither the
+// expected payload nor an error envelope.
+func missingPayload(op, want string, r *tivwire.Result) error {
+	return &Error{Op: op, Code: CodeBadPayload,
+		Message: fmt.Sprintf("missing %s payload in %q result", want, r.Kind)}
+}
+
+// selectionQuery mirrors selectionParams for the framed path: the same
+// effective query the GET parameters would have encoded, so both
+// transports produce the same canonical cache key daemon-side.
+func selectionQuery(kind tivaware.QueryKind, target, k int, candidates []int, opts tivaware.QueryOptions) tivaware.Query {
+	if candidates == nil {
+		candidates = opts.Candidates
+	}
+	return tivaware.Query{
+		Kind:            kind,
+		Target:          target,
+		K:               k,
+		Candidates:      candidates,
+		SeverityPenalty: opts.SeverityPenalty,
+		ExcludeViolated: opts.ExcludeViolated,
+		Scatter:         opts.Residue(),
+	}
+}

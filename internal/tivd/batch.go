@@ -162,13 +162,26 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, tivwire.CodeBadRequest, "decoding body: %v", err)
 		return
 	}
-	if len(req.Queries) == 0 {
-		writeError(w, r, http.StatusBadRequest, tivwire.CodeBadRequest, "empty batch")
+	resp, err := s.resolveBatch(r.Context(), &req)
+	if err != nil {
+		serviceError(w, r, err)
 		return
 	}
+	writeMsg(w, r, http.StatusOK, *resp)
+}
+
+// resolveBatch answers one decoded batch request — the transport-free
+// core shared by POST /v1/batch and the framed listener, so the
+// cache, coalescing, and taxonomy behavior cannot drift between
+// transports. A returned error is a whole-call failure already typed
+// for errorEnvelope (reqError or a backend error); per-query failures
+// land in the aligned Results vector.
+func (s *Server) resolveBatch(ctx context.Context, req *tivwire.BatchRequest) (*tivwire.BatchResponse, error) {
+	if len(req.Queries) == 0 {
+		return nil, badRequestf("empty batch")
+	}
 	if max := s.opts.maxBatch(); len(req.Queries) > max {
-		writeError(w, r, http.StatusBadRequest, tivwire.CodeBadRequest, "batch of %d queries exceeds limit %d", len(req.Queries), max)
-		return
+		return nil, badRequestf("batch of %d queries exceeds limit %d", len(req.Queries), max)
 	}
 
 	queries := tivwire.ToQueries(req.Queries)
@@ -221,15 +234,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		for k, i := range missIdx {
 			miss[k] = queries[i]
 		}
-		res, e, err := s.b.QueryBatch(r.Context(), miss)
+		res, e, err := s.b.QueryBatch(ctx, miss)
 		if err != nil {
-			serviceError(w, r, err)
-			return
+			return nil, err
 		}
 		if len(res) != len(miss) {
-			writeError(w, r, http.StatusServiceUnavailable, tivwire.CodeInternal,
-				"backend answered %d results for %d queries", len(res), len(miss))
-			return
+			return nil, internalErrorf("backend answered %d results for %d queries", len(res), len(miss))
 		}
 		epoch = e
 		// Store successes only if the version pair survived the
@@ -254,5 +264,5 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	writeMsg(w, r, http.StatusOK, tivwire.BatchResponse{Epoch: epoch, Results: results})
+	return &tivwire.BatchResponse{Epoch: epoch, Results: results}, nil
 }

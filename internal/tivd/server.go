@@ -248,6 +248,12 @@ func internalErrorf(format string, args ...any) error {
 	return &reqError{code: tivwire.CodeInternal, err: fmt.Errorf(format, args...)}
 }
 
+// errNotLive is the typed refusal a read-only daemon answers updates
+// with.
+func errNotLive() error {
+	return &reqError{code: tivwire.CodeNotLive, err: errors.New("updates require a live service (tivd -live)")}
+}
+
 // defaultRetryAfter is the retry hint (seconds) attached to every
 // retryable error envelope: long enough for a transient stall to
 // clear, short enough that clients re-probe a recovering backend
@@ -387,10 +393,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	epoch, version, err := s.b.Health(r.Context())
+	h, err := s.healthWire(r.Context())
 	if err != nil {
 		serviceError(w, r, err)
 		return
+	}
+	writeMsg(w, r, http.StatusOK, h)
+}
+
+// healthWire builds the health report — the transport-free core
+// shared by GET /healthz and the framed listener's Hello ping.
+func (s *Server) healthWire(ctx context.Context) (tivwire.Health, error) {
+	epoch, version, err := s.b.Health(ctx)
+	if err != nil {
+		return tivwire.Health{}, err
 	}
 	// Backends that track partial failure (the tivshard gateway)
 	// surface it here: "degraded" while any shard is down, "ok"
@@ -409,7 +425,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.cache != nil {
 		h.Cache = s.cache.stats()
 	}
-	writeMsg(w, r, http.StatusOK, h)
+	return h, nil
 }
 
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
@@ -563,7 +579,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.b.Live() {
-		writeError(w, r, http.StatusConflict, tivwire.CodeNotLive, "updates require a live service (tivd -live)")
+		serviceError(w, r, errNotLive())
 		return
 	}
 	var req tivwire.UpdateRequest
@@ -571,16 +587,30 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, tivwire.CodeBadRequest, "decoding body: %v", err)
 		return
 	}
-	if len(req.Updates) == 0 {
-		writeError(w, r, http.StatusBadRequest, tivwire.CodeBadRequest, "empty update batch")
-		return
-	}
-	cs, err := s.b.ApplyBatch(r.Context(), req.ToUpdates())
+	cs, err := s.applyWire(r.Context(), &req)
 	if err != nil {
 		serviceError(w, r, err)
 		return
 	}
-	writeMsg(w, r, http.StatusOK, tivwire.FromChangeSet(cs))
+	writeMsg(w, r, http.StatusOK, cs)
+}
+
+// applyWire applies one decoded update batch — the transport-free
+// core shared by POST /v1/update and the framed listener. Errors are
+// typed for errorEnvelope, so both transports answer the identical
+// envelope.
+func (s *Server) applyWire(ctx context.Context, req *tivwire.UpdateRequest) (tivwire.ChangeSet, error) {
+	if !s.b.Live() {
+		return tivwire.ChangeSet{}, errNotLive()
+	}
+	if len(req.Updates) == 0 {
+		return tivwire.ChangeSet{}, badRequestf("empty update batch")
+	}
+	cs, err := s.b.ApplyBatch(ctx, req.ToUpdates())
+	if err != nil {
+		return tivwire.ChangeSet{}, err
+	}
+	return tivwire.FromChangeSet(cs), nil
 }
 
 // handleSubscribe streams violated-edge change sets as server-sent

@@ -1,0 +1,125 @@
+package tivshard_test
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"tivaware/internal/synth"
+	"tivaware/internal/tivaware"
+	"tivaware/internal/tivfault"
+	"tivaware/internal/tivshard/testcluster"
+)
+
+// Framed-transport and batch-hedging fault coverage: the gateway must
+// stay exact when its shard dialing runs over persistent frames, when
+// a framed shard is killed outright (redial + failover), and when one
+// shard answers batches slowly (sub-batch hedging races a replica).
+
+// TestGatewayBatchHedgesSlowSubBatch pins satellite coverage for the
+// batch path: with shard 0 adding latency far beyond the hedge delay,
+// a heterogeneous QueryBatch — whose class-0 sub-batch lands on the
+// slow shard — must answer exactly and fast, because each sub-batch
+// rides callClass and hedges against the next live replica.
+func TestGatewayBatchHedgesSlowSubBatch(t *testing.T) {
+	inj := tivfault.New(tivfault.Spec{})
+	cfg := synth.DS2Like(36, 13)
+	cfg.MissingFrac = 0.08
+	sp, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := chaosGatewayOptions()
+	opts.HedgeDelay = 10 * time.Millisecond
+	c, err := testcluster.Start(testcluster.Config{
+		Matrix:         sp.Matrix,
+		Shards:         3,
+		Workers:        1,
+		GatewayOptions: opts,
+		ShardMiddleware: func(s int, h http.Handler) http.Handler {
+			if s != 0 {
+				return h
+			}
+			return inj.Handler(h)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	mono, err := c.NewMonolith()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.SetSpec(tivfault.Spec{Latency: 500 * time.Millisecond})
+	inj.Match = func(path string) bool { return path != "/healthz" }
+
+	start := time.Now()
+	assertBatchAgreement(t, mono, c.Gateway)
+	elapsed := time.Since(start)
+	// The batch fans one sub-batch per class; class 0's lands on the
+	// slow shard every time. Unhedged, each of the three batch calls in
+	// assertBatchAgreement would eat the injected 500ms.
+	if elapsed > 450*time.Millisecond {
+		t.Fatalf("hedged batches took %v; sub-batches did not race the slow shard", elapsed)
+	}
+}
+
+// framedCluster boots a 3-shard cluster whose gateway dials the shards
+// over the framed transport.
+func framedCluster(t *testing.T, seed int64) (*testcluster.Cluster, *tivaware.Service) {
+	t.Helper()
+	cfg := synth.DS2Like(36, seed)
+	cfg.MissingFrac = 0.08
+	sp, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := testcluster.Start(testcluster.Config{
+		Matrix:         sp.Matrix,
+		Shards:         3,
+		Workers:        1,
+		Frames:         true,
+		GatewayOptions: chaosGatewayOptions(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	mono, err := c.NewMonolith()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, mono
+}
+
+// TestFramedGatewayExact re-proves the PR 5 exactness bar with every
+// shard call riding persistent frames instead of HTTP.
+func TestFramedGatewayExact(t *testing.T) {
+	c, mono := framedCluster(t, 19)
+	assertAgreement(t, mono, c)
+	assertBatchAgreement(t, mono, c.Gateway)
+}
+
+// TestFramedGatewayKilledShardRedial is the redial-after-SIGKILL case
+// over frames: killing a shard aborts its framed connections mid-use,
+// the gateway's retry taxonomy fails the class over to live replicas
+// (exactly), and after a restart the redialed frames serve it again.
+func TestFramedGatewayKilledShardRedial(t *testing.T) {
+	c, mono := framedCluster(t, 23)
+	assertAgreement(t, mono, c)
+
+	c.KillShard(0)
+	// Every query must stay exact while shard 0's framed conns die
+	// and the breaker learns the shard is gone.
+	assertAgreement(t, mono, c)
+	assertBatchAgreement(t, mono, c.Gateway)
+	waitStatus(t, c.Gateway, "degraded", 10*time.Second)
+
+	if err := c.RestartShard(0); err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, c.Gateway, "ok", 10*time.Second)
+	assertAgreement(t, mono, c)
+	assertBatchAgreement(t, mono, c.Gateway)
+}

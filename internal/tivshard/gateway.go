@@ -100,6 +100,15 @@ type Options struct {
 	// shard needing an evicted entry becomes stale (see Status). Zero
 	// means 8192.
 	JournalLimit int
+	// FrameAddrs, when non-empty, dials each shard's framed transport
+	// (tivd -frame-listen) for queries, updates, and health probes —
+	// persistent multiplexed raw connections instead of per-request
+	// HTTP. Aligned by index with the shard URL list; an empty entry
+	// keeps that shard on HTTP. SSE subscriptions always stay on the
+	// HTTP URLs. Must be empty or match the shard count.
+	FrameAddrs []string
+	// FrameConns is the per-shard framed pool size; zero means 2.
+	FrameConns int
 }
 
 func (o Options) resubscribeDelay() time.Duration {
@@ -233,14 +242,29 @@ func New(ctx context.Context, shardURLs []string, opts Options) (*Gateway, error
 	if len(shardURLs) == 0 {
 		return nil, fmt.Errorf("tivshard: no shard URLs")
 	}
+	if len(opts.FrameAddrs) != 0 && len(opts.FrameAddrs) != len(shardURLs) {
+		return nil, fmt.Errorf("tivshard: %d frame addresses for %d shards", len(opts.FrameAddrs), len(shardURLs))
+	}
 	g := &Gateway{
 		k:       len(shardURLs),
 		opts:    opts,
 		ownerMu: make([]sync.Mutex, len(shardURLs)),
 		states:  make([]shardState, len(shardURLs)),
 	}
-	for _, u := range shardURLs {
-		g.clients = append(g.clients, tivclient.New(u, tivclient.Options{HTTPClient: opts.HTTPClient}))
+	for i, u := range shardURLs {
+		copts := tivclient.Options{HTTPClient: opts.HTTPClient}
+		if i < len(opts.FrameAddrs) && opts.FrameAddrs[i] != "" {
+			copts.FrameAddr = opts.FrameAddrs[i]
+			copts.FrameConns = opts.FrameConns
+		}
+		g.clients = append(g.clients, tivclient.New(u, copts))
+	}
+	// On any construction failure, release the framed pools the
+	// health probes may have dialed.
+	closeClients := func() {
+		for _, c := range g.clients {
+			c.Close()
+		}
 	}
 	healths := make([]tivwire.Health, g.k)
 	err := g.scatter(ctx, func(ctx context.Context, s int, c *tivclient.Client) error {
@@ -249,12 +273,14 @@ func New(ctx context.Context, shardURLs []string, opts Options) (*Gateway, error
 		return err
 	})
 	if err != nil {
+		closeClients()
 		return nil, err
 	}
 	g.n = healths[0].N
 	g.live = true
 	for s, h := range healths {
 		if h.N != g.n {
+			closeClients()
 			return nil, fmt.Errorf("tivshard: shard %d serves %d nodes, shard 0 serves %d", s, h.N, g.n)
 		}
 		if !h.Live {
@@ -296,6 +322,9 @@ func (g *Gateway) Close() {
 		g.proberCancel()
 	}
 	g.proberWG.Wait()
+	for _, c := range g.clients {
+		c.Close()
+	}
 }
 
 // owner returns the shard owning node id v.

@@ -403,11 +403,31 @@ func hedgedTry[T any](g *Gateway, ctx context.Context, s int, candidates []int, 
 				firstErr = r.err
 			}
 			if failed >= launched {
+				if launched == 1 && ctx.Err() == nil && tivclient.IsRetryable(r.err) {
+					// The primary failed *before* the hedge timer
+					// fired. The hedge replica is still an unspent
+					// chance at this attempt — launch it immediately
+					// instead of surfacing the fast failure. (Without
+					// this, fast failures returned here and the hedge
+					// candidate never raced at all.) Terminal errors
+					// and dead contexts still return: every replica
+					// would answer those identically.
+					t.Stop()
+					launch(other)
+					launched = 2
+					continue
+				}
 				// Every launched attempt failed.
 				return zero, firstErr
 			}
 			// One of two failed; the other may yet succeed.
 		case <-t.C:
+			if launched == 2 {
+				// The fast-failure path already launched the hedge
+				// before Stop could win the race; nothing left to
+				// launch.
+				continue
+			}
 			// Primary is slow: race a second attempt on the next live
 			// replica.
 			launch(other)

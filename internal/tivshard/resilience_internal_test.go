@@ -1,0 +1,150 @@
+package tivshard
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tivaware/internal/tivclient"
+	"tivaware/internal/tivwire"
+)
+
+// Internal hedgedTry coverage. The bug these tests pin: a primary that
+// failed *before* the hedge timer fired used to return its failure
+// immediately — the hedge replica never raced at all, so a fast-failing
+// shard defeated hedging exactly when failover mattered most.
+
+// hedgeGateway builds the minimal Gateway hedgedTry needs: two shard
+// slots, hedging armed, breaker and per-try timeout off. The clients
+// are never dialed — the call closure dispatches on the client pointer.
+func hedgeGateway(hedge time.Duration) *Gateway {
+	return &Gateway{
+		k: 2,
+		opts: Options{
+			HedgeDelay:       hedge,
+			Retry:            RetryPolicy{PerTryTimeout: -1},
+			BreakerThreshold: -1,
+		},
+		clients: []*tivclient.Client{
+			tivclient.New("http://shard0.invalid", tivclient.Options{}),
+			tivclient.New("http://shard1.invalid", tivclient.Options{}),
+		},
+		states: make([]shardState, 2),
+	}
+}
+
+// shardCall builds a call that answers per shard index, counting
+// invocations.
+func shardCall(g *Gateway, calls *atomic.Int64, answer func(shard int) (string, error)) func(ctx context.Context, c *tivclient.Client) (string, error) {
+	return func(ctx context.Context, c *tivclient.Client) (string, error) {
+		calls.Add(1)
+		for s, gc := range g.clients {
+			if gc == c {
+				return answer(s)
+			}
+		}
+		panic("unknown client")
+	}
+}
+
+func TestHedgedTryFastFailureRacesHedge(t *testing.T) {
+	// Hedge delay far beyond the test budget: only the fast-failure
+	// path can launch the second attempt in time.
+	g := hedgeGateway(30 * time.Second)
+	var calls atomic.Int64
+	retryable := &tivclient.Error{Code: tivclient.CodeTransport, Message: "boom"}
+	call := shardCall(g, &calls, func(shard int) (string, error) {
+		if shard == 0 {
+			return "", retryable
+		}
+		return "shard1", nil
+	})
+	start := time.Now()
+	v, err := hedgedTry(g, context.Background(), 0, []int{0, 1}, call)
+	if err != nil {
+		t.Fatalf("hedgedTry surfaced the primary's fast failure without racing the hedge: %v", err)
+	}
+	if v != "shard1" {
+		t.Fatalf("answer = %q, want the hedge replica's", v)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hedgedTry took %v; it waited for the hedge timer instead of launching on the fast failure", elapsed)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("%d attempts launched, want 2", n)
+	}
+}
+
+func TestHedgedTryTerminalFailureDoesNotHedge(t *testing.T) {
+	g := hedgeGateway(30 * time.Second)
+	var calls atomic.Int64
+	terminal := &tivclient.Error{Code: tivwire.CodeBadRequest, Status: 400, Message: "bad"}
+	call := shardCall(g, &calls, func(shard int) (string, error) {
+		return "", terminal
+	})
+	start := time.Now()
+	_, err := hedgedTry(g, context.Background(), 0, []int{0, 1}, call)
+	if err == nil {
+		t.Fatal("terminal failure did not surface")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("terminal failure took %v to surface", elapsed)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("%d attempts launched for a terminal failure, want 1 (every replica would reject identically)", n)
+	}
+}
+
+func TestHedgedTryBothFailuresSurfacePrimary(t *testing.T) {
+	g := hedgeGateway(30 * time.Second)
+	var calls atomic.Int64
+	primaryErr := &tivclient.Error{Code: tivclient.CodeTransport, Message: "primary down"}
+	hedgeErr := &tivclient.Error{Code: tivclient.CodeTransport, Message: "hedge down"}
+	call := shardCall(g, &calls, func(shard int) (string, error) {
+		if shard == 0 {
+			return "", primaryErr
+		}
+		return "", hedgeErr
+	})
+	_, err := hedgedTry(g, context.Background(), 0, []int{0, 1}, call)
+	if err == nil {
+		t.Fatal("hedgedTry succeeded with every replica failing")
+	}
+	var ce *tivclient.Error
+	if !errors.As(err, &ce) || ce.Message != "primary down" {
+		t.Fatalf("err = %v, want the primary's (first) failure", err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("%d attempts launched, want 2", n)
+	}
+}
+
+// TestHedgedTryNeverTripleLaunches covers the fix's own hazard: the
+// fast-failure launch racing the already-armed timer must not launch a
+// third attempt (which would overflow the 2-slot result channel and
+// leak its sender).
+func TestHedgedTryNeverTripleLaunches(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		g := hedgeGateway(time.Millisecond)
+		var calls atomic.Int64
+		retryable := &tivclient.Error{Code: tivclient.CodeTransport, Message: "boom"}
+		call := shardCall(g, &calls, func(shard int) (string, error) {
+			if shard == 0 {
+				// Straddle the hedge delay so both launch paths race.
+				time.Sleep(time.Millisecond)
+				return "", retryable
+			}
+			return "shard1", nil
+		})
+		v, err := hedgedTry(g, context.Background(), 0, []int{0, 1}, call)
+		if err != nil || v != "shard1" {
+			t.Fatalf("iteration %d: (%q, %v)", i, v, err)
+		}
+		time.Sleep(2 * time.Millisecond) // let any stray launch land
+		if n := calls.Load(); n > 2 {
+			t.Fatalf("iteration %d: %d attempts launched, want <= 2", i, n)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"tivaware/internal/synth"
 	"tivaware/internal/tivaware"
 	"tivaware/internal/tivd"
+	"tivaware/internal/tivframe"
 	"tivaware/internal/tivshard"
 )
 
@@ -58,6 +59,13 @@ type Config struct {
 	// (chaos suites install tivfault injectors here). It is re-applied
 	// on RestartShard, receiving the shard id both times.
 	ShardMiddleware func(shard int, h http.Handler) http.Handler
+	// Frames additionally serves every shard over the framed binary
+	// transport (Shard.FrameAddr) and makes the gateway dial the
+	// shards over frames instead of HTTP. With ServeGateway, the
+	// gateway itself also gets a framed listener (GatewayFrameAddr).
+	// KillShard kills the framed plane too; RestartShard revives it
+	// behind the same address.
+	Frames bool
 }
 
 func (c Config) n() int {
@@ -85,15 +93,21 @@ func (c Config) seed() int64 {
 type Shard struct {
 	// URL is the shard's base URL on loopback.
 	URL string
+	// FrameAddr is the shard's framed-transport address ("host:port"),
+	// set when Config.Frames is true. Stable across KillShard and
+	// RestartShard, exactly like URL.
+	FrameAddr string
 	// Service is the shard's in-process service (its matrix is the
 	// shard's private replica). Replaced by RestartShard.
 	Service *tivaware.Service
 
-	id    int
-	mu    sync.Mutex // guards Service/srv swaps against Close
-	srv   *tivd.Server
-	hs    *http.Server
-	proxy *swapHandler
+	id     int
+	mu     sync.Mutex // guards Service/srv swaps against Close
+	srv    *tivd.Server
+	hs     *http.Server
+	proxy  *swapHandler
+	fsrv   *tivframe.Server
+	fproxy *frameSwap
 }
 
 // swapHandler routes requests to a swappable inner handler, so a
@@ -122,6 +136,28 @@ func (deadHandler) ServeHTTP(http.ResponseWriter, *http.Request) {
 	panic(http.ErrAbortHandler)
 }
 
+// frameSwap is swapHandler's framed twin: it routes frames to a
+// swappable inner handler, so the framed plane dies and restarts
+// behind one stable listener address.
+type frameSwap struct {
+	h atomic.Value // frameBox
+}
+
+type frameBox struct{ h tivframe.Handler }
+
+func (f *frameSwap) ServeFrame(ctx context.Context, msg any) any {
+	return f.h.Load().(frameBox).h.ServeFrame(ctx, msg)
+}
+
+func (f *frameSwap) store(h tivframe.Handler) { f.h.Store(frameBox{h}) }
+
+// deadFrameHandler is deadHandler's framed twin: a nil return makes
+// the frame server abort the connection without answering — clients
+// see a reset, exactly like a SIGKILLed daemon's socket.
+type deadFrameHandler struct{}
+
+func (deadFrameHandler) ServeFrame(context.Context, any) any { return nil }
+
 // Cluster is a running multi-shard cluster.
 type Cluster struct {
 	// Matrix is the pristine source matrix (differential twins are
@@ -133,10 +169,14 @@ type Cluster struct {
 	Gateway *tivshard.Gateway
 	// GatewayURL is set when Config.ServeGateway is true.
 	GatewayURL string
+	// GatewayFrameAddr is the served gateway's framed-transport
+	// address, set when both ServeGateway and Frames are true.
+	GatewayFrameAddr string
 
 	cfg  Config
 	gwHS *http.Server
 	gwS  *tivd.Server
+	gwFS *tivframe.Server
 }
 
 // Start builds the matrix, boots one tivd server per shard on a
@@ -166,10 +206,30 @@ func Start(cfg Config) (*Cluster, error) {
 			c.Close()
 			return nil, err
 		}
-		c.Shards = append(c.Shards, &Shard{URL: url, Service: svc, id: s, srv: srv, hs: hs, proxy: proxy})
+		sh := &Shard{URL: url, Service: svc, id: s, srv: srv, hs: hs, proxy: proxy}
+		if cfg.Frames {
+			fproxy := &frameSwap{}
+			fproxy.store(srv.FrameHandler())
+			addr, fsrv, err := serveFrames(fproxy)
+			if err != nil {
+				c.Shards = append(c.Shards, sh)
+				c.Close()
+				return nil, err
+			}
+			sh.FrameAddr, sh.fsrv, sh.fproxy = addr, fsrv, fproxy
+		}
+		c.Shards = append(c.Shards, sh)
 		urls = append(urls, url)
 	}
-	gw, err := tivshard.New(context.Background(), urls, cfg.GatewayOptions)
+	gwOpts := cfg.GatewayOptions
+	if cfg.Frames {
+		frameAddrs := make([]string, len(c.Shards))
+		for s, sh := range c.Shards {
+			frameAddrs[s] = sh.FrameAddr
+		}
+		gwOpts.FrameAddrs = frameAddrs
+	}
+	gw, err := tivshard.New(context.Background(), urls, gwOpts)
 	if err != nil {
 		c.Close()
 		return nil, err
@@ -188,8 +248,28 @@ func Start(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 		c.gwS, c.gwHS, c.GatewayURL = gwS, hs, url
+		if cfg.Frames {
+			addr, fsrv, err := serveFrames(gwS.FrameHandler())
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			c.GatewayFrameAddr, c.gwFS = addr, fsrv
+		}
 	}
 	return c, nil
+}
+
+// serveFrames binds an ephemeral loopback listener and serves the
+// framed transport on it.
+func serveFrames(h tivframe.Handler) (addr string, fsrv *tivframe.Server, err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	fsrv = tivframe.NewServer(h, tivframe.Options{})
+	go func() { _ = fsrv.Serve(ln) }()
+	return ln.Addr().String(), fsrv, nil
 }
 
 // newShardServer builds one shard's service (a fresh replica of the
@@ -225,6 +305,12 @@ func (c *Cluster) KillShard(s int) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.proxy.store(deadHandler{})
+	if sh.fproxy != nil {
+		// The framed plane dies with the process: every subsequent
+		// frame on an existing connection aborts it (a reset, not an
+		// error envelope), and fresh dials meet the same fate.
+		sh.fproxy.store(deadFrameHandler{})
+	}
 	sh.srv.Close() // tear down the dead process's streams
 }
 
@@ -245,6 +331,9 @@ func (c *Cluster) RestartShard(s int) error {
 	old := sh.srv
 	sh.Service, sh.srv = svc, srv
 	sh.proxy.store(c.shardHandler(sh.id, srv))
+	if sh.fproxy != nil {
+		sh.fproxy.store(srv.FrameHandler())
+	}
 	if old != srv {
 		old.Close()
 	}
@@ -290,6 +379,9 @@ func (c *Cluster) Close() {
 	if c.gwS != nil {
 		c.gwS.Close()
 	}
+	if c.gwFS != nil {
+		c.gwFS.Abort()
+	}
 	if c.gwHS != nil {
 		shutdown(c.gwHS)
 	}
@@ -297,6 +389,9 @@ func (c *Cluster) Close() {
 		sh.mu.Lock()
 		sh.srv.Close()
 		sh.mu.Unlock()
+		if sh.fsrv != nil {
+			sh.fsrv.Abort()
+		}
 		shutdown(sh.hs)
 	}
 }
